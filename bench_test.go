@@ -1,0 +1,487 @@
+// Package main's bench harness regenerates every table and figure of the
+// paper's evaluation (Section 5) plus the ablations called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each Benchmark prints the paper-style rows once (on the first
+// iteration) and then times the underlying experiment; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lrc"
+	"repro/internal/markov"
+)
+
+// printOnce guards the one-time report printing inside benchmarks.
+var printOnce sync.Map
+
+func once(name string, fn func()) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fn()
+	}
+}
+
+// BenchmarkTable1MTTDL regenerates Table 1: storage overhead, repair
+// traffic, and MTTDL for 3-replication, RS(10,4) and LRC(10,6,5).
+func BenchmarkTable1MTTDL(b *testing.B) {
+	once("table1", func() {
+		if err := experiments.Table1(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := markov.Table1(markov.FacebookParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2RepairUnderWorkload regenerates Table 2 and Fig 7: ten
+// WordCount jobs with ~20% of required blocks missing.
+func BenchmarkTable2RepairUnderWorkload(b *testing.B) {
+	cfg := experiments.DefaultWorkload()
+	once("table2", func() {
+		base, err := experiments.RunWorkload(core.NewRS104(), false, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := experiments.RunWorkload(core.NewRS104(), true, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xo, err := experiments.RunWorkload(core.NewXorbas(), true, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig7Table2(os.Stdout, base, rs, xo)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWorkload(core.NewXorbas(), true, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3FacebookCluster regenerates Table 3: the 35-node
+// Facebook test cluster with the production small-file distribution.
+func BenchmarkTable3FacebookCluster(b *testing.B) {
+	cfg := experiments.DefaultFacebook()
+	once("table3", func() {
+		rs, err := experiments.RunFacebook(core.NewRS104(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xo, err := experiments.RunFacebook(core.NewXorbas(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Table3(os.Stdout, rs, xo)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFacebook(core.NewXorbas(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1FailureTrace regenerates Fig 1's month of node failures.
+func BenchmarkFig1FailureTrace(b *testing.B) {
+	once("fig1", func() {
+		if err := experiments.Fig1(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig1(nullWriter{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkFig4FailureEvents regenerates Fig 4's per-event bars (200-file
+// EC2 experiment, eight failure events) and Fig 5's time series.
+func BenchmarkFig4FailureEvents(b *testing.B) {
+	cfg := experiments.DefaultEC2(200)
+	once("fig4", func() {
+		rs, err := experiments.RunEC2(core.NewRS104(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xo, err := experiments.RunEC2(core.NewXorbas(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig4(os.Stdout, rs, xo)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEC2(core.NewXorbas(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5TimeSeries regenerates Fig 5: cluster network, disk and
+// CPU series at 5-minute resolution over the failure sequence.
+func BenchmarkFig5TimeSeries(b *testing.B) {
+	cfg := experiments.DefaultEC2(200)
+	once("fig5", func() {
+		rs, err := experiments.RunEC2(core.NewRS104(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xo, err := experiments.RunEC2(core.NewXorbas(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig5(os.Stdout, rs, xo)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEC2(core.NewRS104(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Scatter regenerates Fig 6: metrics versus blocks lost
+// across the 50/100/200-file experiments with least-squares fits.
+func BenchmarkFig6Scatter(b *testing.B) {
+	base := experiments.DefaultEC2(0)
+	sizes := []int{50, 100, 200}
+	once("fig6", func() {
+		rs, err := experiments.RunFig6(core.NewRS104(), sizes, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xo, err := experiments.RunFig6(core.NewXorbas(), sizes, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig6(os.Stdout, rs, xo)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(core.NewXorbas(), []int{50}, base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7WorkloadCompletion times the Fig 7 degraded WordCount run
+// (the rows print under BenchmarkTable2RepairUnderWorkload).
+func BenchmarkFig7WorkloadCompletion(b *testing.B) {
+	cfg := experiments.DefaultWorkload()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWorkload(core.NewRS104(), true, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceDrivenMonth replays a scaled Fig 1 failure trace for a
+// simulated month against both coded clusters: the §1.1 standing-repair-
+// traffic regime.
+func BenchmarkTraceDrivenMonth(b *testing.B) {
+	cfg := experiments.DefaultTraceDriven()
+	once("trace", func() {
+		for _, s := range []core.Scheme{core.NewRS104(), core.NewXorbas()} {
+			r, err := experiments.RunTraceDriven(s, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("Trace month %-16s: %3d node failures, %4d repairs (%d light/%d heavy), %.1f GB repair reads (%.2f GB/day), %d blocks lost\n",
+				r.Scheme, r.NodesFailed, r.BlocksRepaired, r.LightRepairs, r.HeavyRepairs,
+				r.RepairTrafficGB, r.AvgDailyRepairGB, r.DataLossBlocks)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTraceDriven(core.NewXorbas(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationImpliedParity compares the deployed implied-parity
+// layout (16 blocks) against storing S3 explicitly (17 blocks): same
+// locality, 0.6x vs 0.7x storage overhead.
+func BenchmarkAblationImpliedParity(b *testing.B) {
+	once("ab-implied", func() {
+		implied := lrc.NewXorbas()
+		p := lrc.Xorbas
+		p.StoreImplied = true
+		stored, err := lrc.New(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("Ablation: implied parity — stored=%d overhead=%.1fx locality=%d d=%d | explicit S3 — stored=%d overhead=%.1fx locality=%d d=%d\n",
+			implied.NStored(), implied.StorageOverhead(), implied.Locality(), implied.MinDistance(),
+			stored.NStored(), stored.StorageOverhead(), stored.Locality(), stored.MinDistance())
+	})
+	p := lrc.Xorbas
+	p.StoreImplied = true
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, 1<<16)
+	}
+	c, err := lrc.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(10 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLightVsHeavy compares repair bytes with the light
+// decoder enabled (normal Xorbas) against a heavy-only policy, on the
+// same single-node failure.
+func BenchmarkAblationLightVsHeavy(b *testing.B) {
+	once("ab-light", func() {
+		c := lrc.NewXorbas()
+		exists := make([]bool, 16)
+		avail := make([]bool, 16)
+		for i := range exists {
+			exists[i], avail[i] = true, true
+		}
+		avail[3] = false
+		light, _ := c.PlanRepair(3, exists, avail, true)
+		// Heavy-only: forbid the light recipe by pretending a groupmate
+		// is down, then count a deployed heavy read set.
+		avail[4] = false
+		heavy, _ := c.PlanRepair(3, exists, avail, true)
+		fmt.Printf("Ablation: light repair reads %d blocks; heavy-only reads %d (deployed)\n",
+			len(light.Reads), len(heavy.Reads))
+	})
+	c := lrc.NewXorbas()
+	exists := make([]bool, 16)
+	avail := make([]bool, 16)
+	for i := range exists {
+		exists[i], avail[i] = true, true
+	}
+	avail[3] = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PlanRepair(3, exists, avail, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLocalitySweep sweeps the group size r and reports the
+// Theorem 2 distance bound and repair cost per r — the locality/distance
+// tradeoff the paper characterizes.
+func BenchmarkAblationLocalitySweep(b *testing.B) {
+	once("ab-sweep", func() {
+		fmt.Println("Ablation: locality sweep, k=10, 4 global parities")
+		fmt.Printf("  %3s %8s %10s %10s %12s\n", "r", "stored", "overhead", "bound d", "exact d")
+		for _, r := range []int{2, 3, 5, 10} {
+			p := lrc.Params{K: 10, GlobalParities: 4, GroupSize: r}
+			c, err := lrc.New(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("  %3d %8d %9.1fx %10d %12d\n",
+				r, c.NStored(), c.StorageOverhead(), c.MinDistanceBound(), c.MinDistance())
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := lrc.New(lrc.Params{K: 10, GlobalParities: 4, GroupSize: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = c.MinDistance()
+	}
+}
+
+// BenchmarkAblationRSReadSet quantifies §3.1.2's remark that the deployed
+// RS BlockFixer reads 13 blocks where 10 suffice.
+func BenchmarkAblationRSReadSet(b *testing.B) {
+	s := core.NewRS104()
+	exists := make([]bool, 14)
+	avail := make([]bool, 14)
+	for i := range exists {
+		exists[i], avail[i] = true, true
+	}
+	avail[0] = false
+	once("ab-rs", func() {
+		dep, _, _ := s.PlanRepair(0, exists, avail, true)
+		min, _, _ := s.PlanRepair(0, exists, avail, false)
+		fmt.Printf("Ablation: deployed RS repair reads %d blocks; minimal reads %d\n", len(dep), len(min))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.PlanRepair(0, exists, avail, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationArchivalStripe evaluates §7's archival direction:
+// large LRC stripes (k=50, r=5) keep repairs at r+… reads while the
+// equivalent RS repair grows linearly with k.
+func BenchmarkAblationArchivalStripe(b *testing.B) {
+	once("ab-archival", func() {
+		fmt.Println("Ablation: archival stripes (repair reads, single failure)")
+		for _, k := range []int{10, 50, 100} {
+			rsS, err := core.NewRS(k, k+4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lc, err := lrc.New(lrc.Params{K: k, GlobalParities: 4, GroupSize: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exists := mask(rsS.Slots(), true)
+			avail := mask(rsS.Slots(), true)
+			avail[1] = false
+			rsReads, _, _ := rsS.PlanRepair(1, exists, avail, false)
+			e2 := mask(lc.NStored(), true)
+			a2 := mask(lc.NStored(), true)
+			a2[1] = false
+			plan, err := lc.PlanRepair(1, e2, a2, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("  k=%3d: RS reads %3d, LRC(r=5) reads %d (overheads %.2fx vs %.2fx)\n",
+				k, len(rsReads), len(plan.Reads), rsS.StorageOverhead(), lc.StorageOverhead())
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrc.New(lrc.Params{K: 50, GlobalParities: 4, GroupSize: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mask(n int, v bool) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = v
+	}
+	return m
+}
+
+// BenchmarkAblationPyramidVsLRC compares the paper's LRC against the §6
+// predecessor family (pyramid codes): pyramid saves one block of storage
+// but leaves its global parities without local repair, which shows up in
+// overall locality and in the expected single-failure repair reads.
+func BenchmarkAblationPyramidVsLRC(b *testing.B) {
+	once("ab-pyramid", func() {
+		xor := lrc.NewXorbas()
+		pyr, err := lrc.NewPyramid(lrc.Xorbas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rsAvg := 13.0 // deployed single-failure reads
+		fmt.Println("Ablation: LRC vs pyramid code vs RS on the (10,4) precode")
+		fmt.Printf("  %-14s %8s %10s %9s %9s %12s %8s\n",
+			"code", "stored", "overhead", "data-r", "full-r", "E[reads|1]", "d")
+		for _, row := range []struct {
+			name string
+			c    *lrc.Code
+		}{{"LRC(10,6,5)", xor}, {"pyramid(10,4)", pyr}} {
+			avg, _ := row.c.ExpectedRepairReads(1)
+			fmt.Printf("  %-14s %8d %9.1fx %9d %9d %12.2f %8d\n",
+				row.name, row.c.NStored(), row.c.StorageOverhead(),
+				row.c.DataLocality(), row.c.Locality(), avg, row.c.MinDistance())
+		}
+		fmt.Printf("  %-14s %8d %9.1fx %9d %9d %12.2f %8d\n", "RS(10,4)", 14, 0.4, 10, 10, rsAvg, 5)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrc.NewPyramid(lrc.Xorbas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReliabilitySweep sweeps the cross-rack bandwidth γ
+// and node MTTF in the Section 4 model: the LRC's reliability edge over
+// RS grows as bandwidth shrinks — the paper's closing claim that LRCs
+// matter most "when the network bandwidth is the main performance
+// bottleneck".
+func BenchmarkAblationReliabilitySweep(b *testing.B) {
+	once("ab-rel", func() {
+		fmt.Println("Ablation: MTTDL (days) vs cross-rack bandwidth and node MTTF")
+		fmt.Printf("  %8s %6s | %12s %12s %12s %10s\n", "γ (Gb/s)", "MTTF y", "3-rep", "RS(10,4)", "LRC(10,6,5)", "LRC/RS")
+		for _, gbps := range []float64{0.1, 1, 10} {
+			for _, mttf := range []float64{2, 4} {
+				p := markov.FacebookParams()
+				p.BandwidthBitsPerSec = gbps * 1e9
+				p.NodeMTTFYears = mttf
+				rows, err := markov.Table1(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fmt.Printf("  %8.1f %6.0f | %12.3E %12.3E %12.3E %10.1f\n",
+					gbps, mttf, rows[0].MTTDLDays, rows[1].MTTDLDays, rows[2].MTTDLDays,
+					rows[2].MTTDLDays/rows[1].MTTDLDays)
+			}
+		}
+	})
+	b.ResetTimer()
+	p := markov.FacebookParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := markov.Table1(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeThroughput measures payload encode rates of the three
+// schemes' codecs on 64 MB-per-block-scale stripes (scaled down to keep
+// the bench quick; rates are size-independent beyond cache effects).
+func BenchmarkEncodeThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 10)
+	for i := range data {
+		data[i] = make([]byte, 1<<20)
+		rng.Read(data[i])
+	}
+	b.Run("rs10_4", func(b *testing.B) {
+		c := core.NewRS104().Code()
+		b.SetBytes(10 << 20)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Encode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("xorbas10_6_5", func(b *testing.B) {
+		c := core.NewXorbas().Code()
+		b.SetBytes(10 << 20)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Encode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

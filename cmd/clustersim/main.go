@@ -1,0 +1,112 @@
+// Command clustersim runs the paper's cluster experiments (Section 5) on
+// the simulated substrate and prints the corresponding tables/figures.
+//
+// Usage:
+//
+//	clustersim -exp fig4|fig5|fig6|table2|table3|all [-files n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4, fig5, fig6, table2, table3, all")
+	files := flag.Int("files", 200, "files for the EC2 experiments")
+	flag.Parse()
+
+	if err := run(*exp, *files); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, files int) error {
+	w := os.Stdout
+	wantAll := exp == "all"
+	ran := false
+	if wantAll || exp == "fig4" || exp == "fig5" {
+		cfg := experiments.DefaultEC2(files)
+		rs, err := experiments.RunEC2(core.NewRS104(), cfg)
+		if err != nil {
+			return err
+		}
+		xo, err := experiments.RunEC2(core.NewXorbas(), cfg)
+		if err != nil {
+			return err
+		}
+		if wantAll || exp == "fig4" {
+			experiments.Fig4(w, rs, xo)
+			ran = true
+		}
+		if wantAll || exp == "fig5" {
+			experiments.Fig5(w, rs, xo)
+			ran = true
+		}
+	}
+	if wantAll || exp == "fig6" {
+		base := experiments.DefaultEC2(0)
+		sizes := []int{50, 100, 200}
+		rs, err := experiments.RunFig6(core.NewRS104(), sizes, base)
+		if err != nil {
+			return err
+		}
+		xo, err := experiments.RunFig6(core.NewXorbas(), sizes, base)
+		if err != nil {
+			return err
+		}
+		experiments.Fig6(w, rs, xo)
+		ran = true
+	}
+	if wantAll || exp == "table2" || exp == "fig7" {
+		cfg := experiments.DefaultWorkload()
+		base, err := experiments.RunWorkload(core.NewRS104(), false, cfg)
+		if err != nil {
+			return err
+		}
+		rs, err := experiments.RunWorkload(core.NewRS104(), true, cfg)
+		if err != nil {
+			return err
+		}
+		xo, err := experiments.RunWorkload(core.NewXorbas(), true, cfg)
+		if err != nil {
+			return err
+		}
+		experiments.Fig7Table2(w, base, rs, xo)
+		ran = true
+	}
+	if wantAll || exp == "trace" {
+		cfg := experiments.DefaultTraceDriven()
+		for _, s := range []core.Scheme{core.NewRS104(), core.NewXorbas()} {
+			r, err := experiments.RunTraceDriven(s, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "Trace month %-16s: %3d node failures, %4d repairs (%d light/%d heavy), %.1f GB repair reads, %d blocks lost\n",
+				r.Scheme, r.NodesFailed, r.BlocksRepaired, r.LightRepairs, r.HeavyRepairs, r.RepairTrafficGB, r.DataLossBlocks)
+		}
+		ran = true
+	}
+	if wantAll || exp == "table3" {
+		cfg := experiments.DefaultFacebook()
+		rs, err := experiments.RunFacebook(core.NewRS104(), cfg)
+		if err != nil {
+			return err
+		}
+		xo, err := experiments.RunFacebook(core.NewXorbas(), cfg)
+		if err != nil {
+			return err
+		}
+		experiments.Table3(w, rs, xo)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Degraded reads (§1.1): 90% of data-center failure events are transient.
+// While a DataNode is down, reads of its blocks are served by on-the-fly
+// reconstruction — nothing is written back. This example runs a simulated
+// cluster through a transient failure and compares degraded-read latency
+// and traffic between HDFS-RS and HDFS-Xorbas.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+)
+
+const mb = 1 << 20
+
+func main() {
+	for _, scheme := range []core.Scheme{core.NewRS104(), core.NewXorbas()} {
+		latency, gb := run(scheme)
+		fmt.Printf("%-14s: degraded read served in %5.1f s, %5.2f GB reconstruction traffic\n",
+			scheme.Name(), latency, gb)
+	}
+	fmt.Println("(the LRC serves degraded reads ~2x cheaper: 5 streams instead of 13)")
+}
+
+func run(scheme core.Scheme) (latencySec, trafficGB float64) {
+	eng := sim.NewEngine()
+	cl, err := cluster.New(eng, cluster.Config{
+		Nodes: 30, NodeOutBps: 12 * mb, NodeInBps: 12 * mb,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := hdfs.New(cl, scheme, hdfs.Config{
+		BlockSizeBytes: 64 * mb, SlotsPerNode: 2,
+		TaskLaunchSec: 5, FixerScanSec: 1e7, // fixer idle: transient failure
+		DeployedReads: true, DegradedTimeoutSec: 10,
+		DecodeCPUSecPerRead: 0.3, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stripes, err := fs.AddFile("warehouse-table", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := stripes[0]
+
+	// A node holding block X5 fails transiently.
+	victim := s.Node[4]
+	fs.KillNode(victim)
+
+	// An analytics task on another node needs X5 right now.
+	reader := s.Node[0]
+	before := fs.Snapshot()
+	start := eng.Now()
+	var served float64
+	fs.ReadBlock(s, 4, reader, func(degraded bool) {
+		if !degraded {
+			log.Fatal("expected the degraded path")
+		}
+		served = eng.Now() - start
+	})
+	eng.RunUntil(1e6) // before the (disabled) fixer
+	d := fs.Delta(before)
+
+	// The transient failure resolves: the node returns, no repair ran.
+	cl.Restart(victim)
+	s.Lost[4] = false
+	if d.BlocksRepaired != 0 {
+		log.Fatal("degraded read must not write a repair")
+	}
+	return served, d.HDFSBytesRead / 1e9
+}

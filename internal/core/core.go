@@ -1,0 +1,261 @@
+// Package core is the public facade of the library: a single Scheme
+// abstraction unifying the three storage schemes the paper compares —
+// 3-way replication, Reed-Solomon RS(10,4), and the Xorbas LRC(10,6,5) —
+// plus constructors for arbitrary geometries of each.
+//
+// A Scheme answers the questions the reliability model (Section 4) and the
+// cluster simulator (Section 5) ask of a storage code: how many blocks a
+// stripe stores for a given file size, which failures it tolerates, and
+// what a repair must read. Payload-level encoding and decoding live in the
+// underlying packages (repro/internal/rs, repro/internal/lrc) and are
+// re-exported through the concrete types.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lrc"
+	"repro/internal/rs"
+)
+
+// Scheme models a redundancy scheme at stripe granularity.
+type Scheme interface {
+	// Name identifies the scheme in reports, e.g. "LRC (10,6,5)".
+	Name() string
+	// DataBlocks returns k, the data blocks of a full stripe.
+	DataBlocks() int
+	// Slots returns the stripe positions a full stripe stores
+	// (3 for replication, 14 for RS(10,4), 16 for LRC(10,6,5)).
+	Slots() int
+	// Exists reports whether position pos is physically stored in a
+	// stripe holding dataCount ≤ k real data blocks (zero-padded stripes
+	// of §3.1.1 store fewer blocks).
+	Exists(pos, dataCount int) bool
+	// StoredCount returns the number of stored blocks for dataCount real
+	// data blocks.
+	StoredCount(dataCount int) int
+	// StorageOverhead returns extra storage per byte of data for a full
+	// stripe: 2.0 for 3-replication, 0.4 for RS(10,4), 0.6 for LRC
+	// (Table 1).
+	StorageOverhead() float64
+	// FailuresTolerated returns d−1: the erasures any full stripe
+	// survives (2 for replication, 4 for both coded schemes).
+	FailuresTolerated() int
+	// PlanRepair returns the positions read to repair block lost, and
+	// whether the light (local) decoder sufficed. deployed selects the
+	// deployed read-set policy (all streams) versus minimal.
+	PlanRepair(lost int, exists, avail []bool, deployed bool) (reads []int, light bool, err error)
+	// ExpectedRepairReads returns, over all erasure patterns of the given
+	// size on a full stripe, the expected blocks read for the next repair
+	// and the fraction handled by the light decoder.
+	ExpectedRepairReads(erasures int) (avg float64, lightFrac float64)
+}
+
+// Replication is n-way block replication (the cluster default, §1).
+type Replication struct {
+	// Factor is the number of copies (3 at Facebook).
+	Factor int
+}
+
+// NewReplication returns an n-way replication scheme.
+func NewReplication(factor int) (Replication, error) {
+	if factor < 2 {
+		return Replication{}, fmt.Errorf("core: replication factor %d < 2", factor)
+	}
+	return Replication{Factor: factor}, nil
+}
+
+// Name implements Scheme.
+func (r Replication) Name() string { return fmt.Sprintf("%d-replication", r.Factor) }
+
+// DataBlocks implements Scheme: a replication "stripe" is one block.
+func (r Replication) DataBlocks() int { return 1 }
+
+// Slots implements Scheme.
+func (r Replication) Slots() int { return r.Factor }
+
+// Exists implements Scheme: every copy always exists.
+func (r Replication) Exists(pos, dataCount int) bool { return pos >= 0 && pos < r.Factor }
+
+// StoredCount implements Scheme.
+func (r Replication) StoredCount(dataCount int) int { return r.Factor }
+
+// StorageOverhead implements Scheme: 2.0 for 3 copies (Table 1).
+func (r Replication) StorageOverhead() float64 { return float64(r.Factor - 1) }
+
+// FailuresTolerated implements Scheme.
+func (r Replication) FailuresTolerated() int { return r.Factor - 1 }
+
+// PlanRepair implements Scheme: read any surviving copy.
+func (r Replication) PlanRepair(lost int, exists, avail []bool, deployed bool) ([]int, bool, error) {
+	if len(exists) != r.Factor || len(avail) != r.Factor {
+		return nil, false, fmt.Errorf("core: masks must have %d entries", r.Factor)
+	}
+	if lost < 0 || lost >= r.Factor {
+		return nil, false, fmt.Errorf("core: bad copy index %d", lost)
+	}
+	for i := 0; i < r.Factor; i++ {
+		if i != lost && avail[i] {
+			return []int{i}, true, nil
+		}
+	}
+	return nil, false, fmt.Errorf("core: all %d copies lost", r.Factor)
+}
+
+// ExpectedRepairReads implements Scheme: replication always reads one
+// block per repair.
+func (r Replication) ExpectedRepairReads(erasures int) (float64, float64) {
+	if erasures >= r.Factor {
+		return 0, 0
+	}
+	return 1, 1
+}
+
+// RS wraps a Reed-Solomon code as a Scheme.
+type RS struct {
+	code *rs.Code
+}
+
+// NewRS returns the (k, n−k) Reed-Solomon scheme over GF(2^8).
+func NewRS(k, n int) (*RS, error) {
+	c, err := rs.New256(k, n)
+	if err != nil {
+		return nil, err
+	}
+	return &RS{code: c}, nil
+}
+
+// NewRS104 returns the production RS(10,4) scheme (n = 14).
+func NewRS104() *RS {
+	s, err := NewRS(10, 14)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Code exposes the payload-level Reed-Solomon code.
+func (s *RS) Code() *rs.Code { return s.code }
+
+// Name implements Scheme.
+func (s *RS) Name() string {
+	return fmt.Sprintf("RS (%d, %d)", s.code.K(), s.code.N()-s.code.K())
+}
+
+// DataBlocks implements Scheme.
+func (s *RS) DataBlocks() int { return s.code.K() }
+
+// Slots implements Scheme.
+func (s *RS) Slots() int { return s.code.N() }
+
+// Exists implements Scheme: data blocks beyond dataCount are zero padding
+// and not stored; parity blocks always exist.
+func (s *RS) Exists(pos, dataCount int) bool {
+	if pos < 0 || pos >= s.code.N() {
+		return false
+	}
+	if pos < s.code.K() {
+		return pos < dataCount
+	}
+	return true
+}
+
+// StoredCount implements Scheme.
+func (s *RS) StoredCount(dataCount int) int {
+	if dataCount > s.code.K() {
+		dataCount = s.code.K()
+	}
+	return dataCount + s.code.ParityShards()
+}
+
+// StorageOverhead implements Scheme.
+func (s *RS) StorageOverhead() float64 { return s.code.StorageOverhead() }
+
+// FailuresTolerated implements Scheme: MDS tolerates n−k erasures.
+func (s *RS) FailuresTolerated() int { return s.code.ParityShards() }
+
+// PlanRepair implements Scheme.
+func (s *RS) PlanRepair(lost int, exists, avail []bool, deployed bool) ([]int, bool, error) {
+	p, err := s.code.PlanRepair(lost, exists, avail, deployed)
+	if err != nil {
+		return nil, false, err
+	}
+	return p.Reads, false, nil
+}
+
+// ExpectedRepairReads implements Scheme.
+func (s *RS) ExpectedRepairReads(erasures int) (float64, float64) {
+	return s.code.ExpectedRepairReads(erasures), 0
+}
+
+// LRC wraps a Locally Repairable Code as a Scheme.
+type LRC struct {
+	code *lrc.Code
+	d    int // exact minimum distance, computed once
+}
+
+// NewLRC wraps an existing payload-level LRC.
+func NewLRC(c *lrc.Code) *LRC {
+	return &LRC{code: c, d: c.MinDistance()}
+}
+
+// NewXorbas returns the paper's LRC (10, 6, 5) scheme.
+func NewXorbas() *LRC { return NewLRC(lrc.NewXorbas()) }
+
+// Code exposes the payload-level LRC.
+func (s *LRC) Code() *lrc.Code { return s.code }
+
+// Name implements Scheme.
+func (s *LRC) Name() string {
+	p := s.code.Params()
+	return fmt.Sprintf("LRC (%d, %d, %d)", p.K, s.code.NStored()-p.K, s.code.Locality())
+}
+
+// DataBlocks implements Scheme.
+func (s *LRC) DataBlocks() int { return s.code.K() }
+
+// Slots implements Scheme.
+func (s *LRC) Slots() int { return s.code.NStored() }
+
+// Exists implements Scheme.
+func (s *LRC) Exists(pos, dataCount int) bool {
+	if pos < 0 || pos >= s.code.NStored() {
+		return false
+	}
+	return s.code.Exists(pos, dataCount)
+}
+
+// StoredCount implements Scheme.
+func (s *LRC) StoredCount(dataCount int) int { return s.code.StoredCount(dataCount) }
+
+// StorageOverhead implements Scheme.
+func (s *LRC) StorageOverhead() float64 { return s.code.StorageOverhead() }
+
+// FailuresTolerated implements Scheme: d−1 with the exact enumerated
+// minimum distance (4 for Xorbas).
+func (s *LRC) FailuresTolerated() int { return s.d - 1 }
+
+// PlanRepair implements Scheme.
+func (s *LRC) PlanRepair(lost int, exists, avail []bool, deployed bool) ([]int, bool, error) {
+	p, err := s.code.PlanRepair(lost, exists, avail, deployed)
+	if err != nil {
+		return nil, false, err
+	}
+	return p.Reads, p.Light, nil
+}
+
+// ExpectedRepairReads implements Scheme.
+func (s *LRC) ExpectedRepairReads(erasures int) (float64, float64) {
+	return s.code.ExpectedRepairReads(erasures)
+}
+
+// Groups returns the stripe positions of each repair group (data groups
+// first, then the global-parity group). Group-aware placement uses this
+// to keep each group inside one rack or datacenter (§1.1).
+func (s *LRC) Groups() [][]int {
+	var out [][]int
+	for _, g := range s.code.Groups() {
+		out = append(out, g.Members)
+	}
+	return out
+}

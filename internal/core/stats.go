@@ -1,0 +1,131 @@
+package core
+
+// Stats derived from exhaustive enumeration of erasure patterns against a
+// scheme's repair planner. These drive the Markov model's per-state
+// repair rates (Section 4: "we determine the probabilities for invoking
+// light or heavy decoder and thus compute the expected number of blocks
+// to be downloaded").
+type RepairStatsResult struct {
+	// AvgReads is the expected number of blocks the next repair streams
+	// in, under the deployed read-set policy, assuming the BlockFixer
+	// repairs the cheapest (light-first) lost block next.
+	AvgReads float64
+	// LightFraction is the probability that next repair is light.
+	LightFraction float64
+	// AvgParallel is the expected number of lost blocks whose minimal
+	// repair read-sets are pairwise disjoint (and disjoint from the other
+	// losses): repairs that can run concurrently without sharing source
+	// links. LRC light repairs in different groups are disjoint; two RS
+	// repairs always contend for the same k sources, so this stays 1 for
+	// RS and replication.
+	AvgParallel float64
+}
+
+// RepairStats enumerates every erasure pattern of the given size on a
+// full stripe of s and aggregates repair cost statistics. Patterns from
+// which no block is recoverable are skipped (they are absorbing states in
+// the Markov chain). Cost is combinatorial in Slots(); fine for stripes.
+func RepairStats(s Scheme, erasures int) RepairStatsResult {
+	n := s.Slots()
+	exists := make([]bool, n)
+	for i := range exists {
+		exists[i] = true
+	}
+	var totReads, totLight, totPar, patterns float64
+	idx := make([]int, erasures)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == erasures {
+			avail := make([]bool, n)
+			for i := range avail {
+				avail[i] = true
+			}
+			for _, i := range idx {
+				avail[i] = false
+			}
+			// Cheapest deployed repair among the lost blocks.
+			bestReads, bestLight, any := 0, false, false
+			for _, lost := range idx {
+				reads, light, err := s.PlanRepair(lost, exists, avail, true)
+				if err != nil {
+					continue
+				}
+				if !any || len(reads) < bestReads || (light && !bestLight && len(reads) <= bestReads) {
+					bestReads, bestLight, any = len(reads), light, true
+				}
+			}
+			if !any {
+				return
+			}
+			patterns++
+			totReads += float64(bestReads)
+			if bestLight {
+				totLight++
+			}
+			totPar += float64(disjointRepairs(s, idx, exists, avail))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	if patterns == 0 {
+		return RepairStatsResult{}
+	}
+	return RepairStatsResult{
+		AvgReads:      totReads / patterns,
+		LightFraction: totLight / patterns,
+		AvgParallel:   totPar / patterns,
+	}
+}
+
+// disjointRepairs counts, greedily and cheapest-first, how many of the
+// lost blocks have minimal repair plans whose read sets are pairwise
+// disjoint and avoid the other losses. At least 1 when any repair exists.
+func disjointRepairs(s Scheme, lost []int, exists, avail []bool) int {
+	type cand struct {
+		block int
+		reads []int
+	}
+	var cands []cand
+	for _, b := range lost {
+		reads, _, err := s.PlanRepair(b, exists, avail, false)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{b, reads})
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+	// cheapest-first greedy
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && len(cands[j].reads) < len(cands[j-1].reads); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	used := make(map[int]bool)
+	count := 0
+	for _, c := range cands {
+		ok := true
+		for _, r := range c.reads {
+			if used[r] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		count++
+		for _, r := range c.reads {
+			used[r] = true
+		}
+	}
+	if count == 0 {
+		count = 1
+	}
+	return count
+}

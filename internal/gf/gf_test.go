@@ -1,0 +1,313 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSupportedDegrees(t *testing.T) {
+	for _, m := range []uint{2, 3, 4, 8, 16} {
+		f, err := New(m)
+		if err != nil {
+			t.Fatalf("New(%d): %v", m, err)
+		}
+		if f.Size() != 1<<m {
+			t.Errorf("m=%d: Size=%d want %d", m, f.Size(), 1<<m)
+		}
+		if f.Order() != (1<<m)-1 {
+			t.Errorf("m=%d: Order=%d want %d", m, f.Order(), (1<<m)-1)
+		}
+	}
+}
+
+func TestNewUnsupportedDegree(t *testing.T) {
+	if _, err := New(5); err == nil {
+		t.Fatal("New(5) should fail: no default polynomial")
+	}
+	if _, err := New(1); err == nil {
+		t.Fatal("New(1) should fail")
+	}
+	if _, err := New(17); err == nil {
+		t.Fatal("New(17) should fail")
+	}
+}
+
+func TestNonPrimitivePolynomialRejected(t *testing.T) {
+	// x^8+1 = (x+1)^8 is not even irreducible.
+	if _, err := NewWithPolynomial(8, 0x101); err == nil {
+		t.Fatal("expected rejection of non-primitive polynomial")
+	}
+	// Wrong degree encoding.
+	if _, err := NewWithPolynomial(8, 0x11); err == nil {
+		t.Fatal("expected rejection of wrong-degree polynomial")
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	f := MustNew(8)
+	for a := 1; a < f.Size(); a++ {
+		if got := f.Exp(f.Log(Elem(a))); got != Elem(a) {
+			t.Fatalf("Exp(Log(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestGeneratorSpansField(t *testing.T) {
+	f := MustNew(8)
+	seen := make(map[Elem]bool)
+	for i := 0; i < f.Order(); i++ {
+		seen[f.Exp(i)] = true
+	}
+	if len(seen) != f.Order() {
+		t.Fatalf("generator produced %d distinct elements, want %d", len(seen), f.Order())
+	}
+}
+
+func TestExpNegativeIndex(t *testing.T) {
+	f := MustNew(8)
+	if f.Exp(-1) != f.Inv(f.Generator()) {
+		t.Fatal("Exp(-1) should be the inverse of the generator")
+	}
+	if f.Exp(f.Order()) != 1 {
+		t.Fatal("Exp(order) should wrap to 1")
+	}
+}
+
+// Field axioms, property-based over GF(2^8) and GF(2^4).
+
+func axiomConfig() *quick.Config {
+	return &quick.Config{MaxCount: 2000}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, m := range []uint{4, 8} {
+		f := MustNew(m)
+		mask := Elem(f.Size() - 1)
+		cfg := axiomConfig()
+		if err := quick.Check(func(a, b, c Elem) bool {
+			a, b, c = a&mask, b&mask, c&mask
+			// additive group, commutativity, associativity, identity
+			if f.Add(a, b) != f.Add(b, a) {
+				return false
+			}
+			if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+				return false
+			}
+			if f.Add(a, 0) != a || f.Add(a, a) != 0 {
+				return false
+			}
+			// multiplicative commutativity/associativity/identity
+			if f.Mul(a, b) != f.Mul(b, a) {
+				return false
+			}
+			if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+				return false
+			}
+			if f.Mul(a, 1) != a {
+				return false
+			}
+			// distributivity
+			if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+				return false
+			}
+			return true
+		}, cfg); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for _, m := range []uint{4, 8, 16} {
+		f := MustNew(m)
+		for a := 1; a < f.Size(); a++ {
+			if f.Mul(Elem(a), f.Inv(Elem(a))) != 1 {
+				t.Fatalf("m=%d: a·a^-1 != 1 for a=%d", m, a)
+			}
+			if f.Div(Elem(a), Elem(a)) != 1 {
+				t.Fatalf("m=%d: a/a != 1 for a=%d", m, a)
+			}
+		}
+	}
+}
+
+func TestDivMulConsistency(t *testing.T) {
+	f := MustNew(8)
+	if err := quick.Check(func(a, b Elem) bool {
+		a, b = a&0xff, b&0xff
+		if b == 0 {
+			return true
+		}
+		return f.Mul(f.Div(a, b), b) == a
+	}, axiomConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := MustNew(8)
+	for a := 0; a < f.Size(); a++ {
+		want := Elem(1)
+		for e := 0; e < 10; e++ {
+			if got := f.Pow(Elem(a), e); got != want {
+				t.Fatalf("Pow(%d,%d) = %d want %d", a, e, got, want)
+			}
+			want = f.Mul(want, Elem(a))
+		}
+	}
+	if f.Pow(0, 3) != 0 || f.Pow(0, 0) != 1 {
+		t.Fatal("0^e conventions violated")
+	}
+}
+
+func TestZeroPanics(t *testing.T) {
+	f := MustNew(8)
+	for name, fn := range map[string]func(){
+		"Inv(0)":   func() { f.Inv(0) },
+		"Div(1,0)": func() { f.Div(1, 0) },
+		"Log(0)":   func() { f.Log(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestXORSlice(t *testing.T) {
+	a := []byte{1, 2, 3, 255}
+	b := []byte{1, 2, 3, 255}
+	XORSlice(a, b)
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("a[%d]=%d want 0", i, v)
+		}
+	}
+}
+
+func TestXORSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	XORSlice(make([]byte, 3), make([]byte, 4))
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	f := MustNew(8)
+	src := make([]byte, 257)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+	for _, c := range []Elem{0, 1, 2, 3, 0x53, 255} {
+		f.MulSlice(c, dst, src)
+		for i := range src {
+			if want := byte(f.Mul(c, Elem(src[i]))); dst[i] != want {
+				t.Fatalf("c=%d i=%d got %d want %d", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	f := MustNew(8)
+	src := make([]byte, 64)
+	acc := make([]byte, 64)
+	want := make([]byte, 64)
+	r := rand.New(rand.NewSource(7))
+	for i := range src {
+		src[i] = byte(r.Intn(256))
+		acc[i] = byte(r.Intn(256))
+		want[i] = acc[i]
+	}
+	c := Elem(0xb7)
+	f.MulAddSlice(c, acc, src)
+	for i := range want {
+		want[i] ^= byte(f.Mul(c, Elem(src[i])))
+		if acc[i] != want[i] {
+			t.Fatalf("i=%d got %d want %d", i, acc[i], want[i])
+		}
+	}
+}
+
+func TestDotSlices(t *testing.T) {
+	f := MustNew(8)
+	srcs := [][]byte{{1, 0, 7}, {2, 5, 0}, {3, 9, 1}}
+	coeffs := []Elem{4, 1, 0}
+	dst := make([]byte, 3)
+	f.DotSlices(coeffs, dst, srcs)
+	for i := 0; i < 3; i++ {
+		want := f.Add(f.Mul(4, Elem(srcs[0][i])), Elem(srcs[1][i]))
+		if dst[i] != byte(want) {
+			t.Fatalf("i=%d got %d want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestMulSliceRequiresGF256(t *testing.T) {
+	f := MustNew(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m != 8")
+		}
+	}()
+	f.MulSlice(1, make([]byte, 1), make([]byte, 1))
+}
+
+// Property: MulAddSlice distributes like the field, i.e. applying
+// coefficients c1 then c2 equals applying c1^c2... (addition of products).
+func TestMulAddSliceLinearity(t *testing.T) {
+	f := MustNew(8)
+	if err := quick.Check(func(c1, c2 Elem, seed int64) bool {
+		c1 &= 0xff
+		c2 &= 0xff
+		r := rand.New(rand.NewSource(seed))
+		src := make([]byte, 32)
+		for i := range src {
+			src[i] = byte(r.Intn(256))
+		}
+		a := make([]byte, 32)
+		b := make([]byte, 32)
+		// a: two passes with c1 and c2
+		f.MulAddSlice(c1, a, src)
+		f.MulAddSlice(c2, a, src)
+		// b: one pass with c1+c2
+		f.MulAddSlice(f.Add(c1, c2), b, src)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	f := MustNew(8)
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MulAddSlice(0x1d, dst, src)
+	}
+}
+
+func BenchmarkXORSlice(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XORSlice(dst, src)
+	}
+}

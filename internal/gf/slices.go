@@ -1,0 +1,98 @@
+package gf
+
+// Slice operations over byte payloads. These are the hot paths of the
+// encoders: every parity block is a linear combination Σ c_i·X_i of data
+// blocks, computed column-wise over the block payloads. For GF(2^8) each
+// payload byte is one field element; the local XOR parities of the Xorbas
+// code (all c_i = 1) reduce to plain XOR, which XORSlice provides without
+// any table lookups.
+
+// XORSlice sets dst[i] ^= src[i] for all i. dst and src must have equal
+// length. This is the entire arithmetic of the Xorbas local parities
+// (coefficients c_i = 1, Section 2.1).
+func XORSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: XORSlice length mismatch")
+	}
+	// 8-way word at a time would need unsafe; the compiler already
+	// vectorizes this simple loop form well.
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulTable returns the 256-entry row of the multiplication table for
+// coefficient c. Only valid for m == 8.
+func (f *Field) mulTable(c Elem) []byte {
+	t := make([]byte, 256)
+	if c == 0 {
+		return t
+	}
+	lc := int(f.log[c])
+	for a := 1; a < 256; a++ {
+		t[a] = byte(f.exp[lc+int(f.log[a])])
+	}
+	return t
+}
+
+// MulSlice sets dst[i] = c·src[i]. Valid for GF(2^8) fields only (payload
+// bytes are field elements). dst and src must have equal length and may
+// alias.
+func (f *Field) MulSlice(c Elem, dst, src []byte) {
+	if f.m != 8 {
+		panic("gf: MulSlice requires GF(2^8)")
+	}
+	if len(dst) != len(src) {
+		panic("gf: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	t := f.mulTable(c)
+	for i, s := range src {
+		dst[i] = t[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c·src[i]: a fused multiply-accumulate, the
+// inner loop of every matrix-vector encode. Valid for GF(2^8) only.
+func (f *Field) MulAddSlice(c Elem, dst, src []byte) {
+	if f.m != 8 {
+		panic("gf: MulAddSlice requires GF(2^8)")
+	}
+	if len(dst) != len(src) {
+		panic("gf: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		XORSlice(dst, src)
+		return
+	}
+	t := f.mulTable(c)
+	for i, s := range src {
+		dst[i] ^= t[s]
+	}
+}
+
+// DotSlices computes dst = Σ coeffs[j]·srcs[j] over GF(2^8), overwriting
+// dst. All srcs and dst must share one length.
+func (f *Field) DotSlices(coeffs []Elem, dst []byte, srcs [][]byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf: DotSlices coefficient/source count mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, c := range coeffs {
+		f.MulAddSlice(c, dst, srcs[j])
+	}
+}

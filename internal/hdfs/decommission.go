@@ -1,0 +1,123 @@
+package hdfs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Node decommissioning (§1.1): "Functional data has to be copied out of
+// the node before decommission, a process that is complicated and time
+// consuming. Fast repairs allow to treat node decommissioning as a
+// scheduled repair and start a MapReduce job to recreate the blocks
+// without creating very large network traffic."
+//
+// Two strategies are provided:
+//
+//   - CopyOutNode: the classic drain — every block is copied from the
+//     retiring node to a new home. Minimal bytes (1 block per block),
+//     but every byte squeezes through the retiring node's NIC, so drain
+//     time scales with the node's stored volume over one link.
+//
+//   - DrainNode: decommission-as-scheduled-repair — a MapReduce job
+//     recreates each block from its repair group on other nodes. It
+//     reads more bytes (r per block with an LRC) but spreads them over
+//     the whole cluster, so wall-clock drain time is limited by cluster
+//     parallelism, not one NIC.
+
+// CopyOutNode drains a retiring node by copying each of its blocks to a
+// fresh home, one stream at a time per the HDFS decommission mover. The
+// callback fires when the node is empty.
+func (fs *FS) CopyOutNode(node int, onDone func(moved int)) error {
+	if !fs.Cl.Alive(node) {
+		return fmt.Errorf("hdfs: node %d is not alive", node)
+	}
+	var refs []blockRef
+	for _, s := range fs.stripes {
+		for pos, nd := range s.Node {
+			if nd == node && !s.Lost[pos] {
+				refs = append(refs, blockRef{s, pos})
+			}
+		}
+	}
+	if len(refs) == 0 {
+		fs.Cl.Kill(node)
+		if onDone != nil {
+			fs.Cl.Eng.Schedule(0, func() { onDone(0) })
+		}
+		return nil
+	}
+	job := &Job{Name: "decommission-copy"} // planned maintenance: full parallelism
+	moved := 0
+	for _, ref := range refs {
+		ref := ref
+		job.AddTask(&Task{PreferredNode: -1, Run: func(taskNode int, finish func()) {
+			dest := fs.pickNewHome(ref.s, ref.pos, node)
+			fs.counters.HDFSBytesRead += fs.Cfg.BlockSizeBytes
+			if err := fs.Cl.Transfer(node, dest, fs.Cfg.BlockSizeBytes, cluster.TagRead, func() {
+				ref.s.Node[ref.pos] = dest
+				moved++
+				finish()
+			}); err != nil {
+				finish()
+			}
+		}})
+	}
+	job.OnFinish = func(*Job) {
+		fs.Cl.Kill(node) // retire once empty
+		if onDone != nil {
+			onDone(moved)
+		}
+	}
+	fs.Tracker.Submit(job)
+	return nil
+}
+
+// DrainNode decommissions a node as a scheduled repair: its blocks are
+// recreated from their repair groups by a MapReduce job reading from
+// OTHER nodes (the retiring node serves no repair traffic), then the
+// node retires. The callback fires when all blocks are recreated.
+func (fs *FS) DrainNode(node int, onDone func(recreated int)) error {
+	if !fs.Cl.Alive(node) {
+		return fmt.Errorf("hdfs: node %d is not alive", node)
+	}
+	var refs []blockRef
+	for _, s := range fs.stripes {
+		for pos, nd := range s.Node {
+			if nd == node && !s.Lost[pos] {
+				refs = append(refs, blockRef{s, pos})
+			}
+		}
+	}
+	// Retire immediately: repairs treat the node's blocks as lost, which
+	// is exactly the scheduled-repair framing (the node may physically
+	// leave right away).
+	fs.Cl.Kill(node)
+	for _, ref := range refs {
+		ref.s.Lost[ref.pos] = true
+	}
+	if len(refs) == 0 {
+		if onDone != nil {
+			fs.Cl.Eng.Schedule(0, func() { onDone(0) })
+		}
+		return nil
+	}
+	job := &Job{Name: "decommission-repair"} // planned maintenance: full parallelism
+	recreated := 0
+	for _, ref := range refs {
+		ref := ref
+		job.AddTask(&Task{PreferredNode: fs.preferRepairNode(ref), Run: func(taskNode int, finish func()) {
+			fs.runRepairTask(ref, taskNode, func() {
+				recreated++
+				finish()
+			})
+		}})
+	}
+	job.OnFinish = func(*Job) {
+		if onDone != nil {
+			onDone(recreated)
+		}
+	}
+	fs.Tracker.Submit(job)
+	return nil
+}

@@ -1,0 +1,176 @@
+package hdfs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The §3 lifecycle: a 3-replicated file is RAIDed into LRC stripes; the
+// replication surplus is released (storage drops from 3.0× to 1.6× of
+// logical) and the encoder traffic is exactly k reads + parity writes.
+func TestRaidFileLifecycle(t *testing.T) {
+	eng, cl := testCluster(t, 50)
+	fs := testFS(t, cl, core.NewXorbas())
+	stripes, err := fs.AddReplicatedFile("warm", 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.TotalBlocksStored(); got != 60 {
+		t.Fatalf("replicated blocks %d want 60", got)
+	}
+	before := fs.Snapshot()
+	var coded []*Stripe
+	if err := fs.RaidFile("warm", stripes, func(cs []*Stripe) { coded = cs }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(coded) != 2 {
+		t.Fatalf("coded stripes %d want 2", len(coded))
+	}
+	// 20 data blocks → 2 Xorbas stripes → 32 stored blocks.
+	if got := fs.TotalBlocksStored(); got != 32 {
+		t.Fatalf("post-raid blocks %d want 32", got)
+	}
+	d := fs.Delta(before)
+	// Encoder reads each data block once: 20 blocks.
+	wantRead := 20 * fs.Cfg.BlockSizeBytes
+	if math.Abs(d.HDFSBytesRead-wantRead) > 1 {
+		t.Fatalf("encoder read %.0f want %.0f", d.HDFSBytesRead, wantRead)
+	}
+	// Data blocks stayed on their primary nodes: lowering replication
+	// moved no data.
+	for i, s := range coded {
+		for pos := 0; pos < s.DataCount; pos++ {
+			if s.Node[pos] != stripes[i*10+pos].Node[0] {
+				t.Fatalf("stripe %d data position %d moved", i, pos)
+			}
+		}
+	}
+	// The coded file must be repairable: kill a node and drain.
+	victim := coded[0].Node[3]
+	b2 := fs.Snapshot()
+	fs.KillNode(victim)
+	eng.Run()
+	if fs.Delta(b2).Unrecoverable > 0 {
+		t.Fatal("raided file lost data on single-node failure")
+	}
+}
+
+func TestRaidFileValidation(t *testing.T) {
+	eng, cl := testCluster(t, 50)
+	fs := testFS(t, cl, core.NewXorbas())
+	if err := fs.RaidFile("x", nil, nil); err == nil {
+		t.Fatal("empty stripe list accepted")
+	}
+	coded, _ := fs.AddFile("already", 10)
+	if err := fs.RaidFile("already", coded, nil); err == nil {
+		t.Fatal("raiding a coded file accepted")
+	}
+	rep, _ := fs.AddReplicatedFile("r", 3, 3)
+	fs.LoseBlock(rep[0], 0)
+	if err := fs.RaidFile("r", rep, nil); err == nil {
+		t.Fatal("raiding with lost primary accepted")
+	}
+	eng.Run()
+}
+
+// §3.1 backwards compatibility in the simulator: an RS file migrates to
+// LRC by adding only local parities — 2 writes and 10 group-data reads
+// per full stripe, with data and RS parities untouched.
+func TestMigrateToLRC(t *testing.T) {
+	eng, cl := testCluster(t, 50)
+	fs := testFS(t, cl, core.NewRS104())
+	rsStripes, err := fs.AddFile("legacy", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]int(nil), rsStripes[0].Node...)
+	lrcScheme := core.NewXorbas()
+	before := fs.Snapshot()
+	var out []*Stripe
+	if err := fs.MigrateToLRC("legacy", rsStripes, lrcScheme, func(m []*Stripe) { out = m }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(out) != 1 {
+		t.Fatalf("migrated stripes %d want 1", len(out))
+	}
+	s := out[0]
+	if s.Scheme != lrcScheme {
+		t.Fatal("scheme not switched")
+	}
+	// RS positions unchanged; two new local parities placed.
+	for pos := 0; pos < 14; pos++ {
+		if s.Node[pos] != orig[pos] {
+			t.Fatalf("RS position %d moved during migration", pos)
+		}
+	}
+	if s.Node[14] < 0 || s.Node[15] < 0 {
+		t.Fatal("local parities not stored")
+	}
+	d := fs.Delta(before)
+	// Reads: each local parity reads its 5 data blocks → 10 reads.
+	wantRead := 10 * fs.Cfg.BlockSizeBytes
+	if math.Abs(d.HDFSBytesRead-wantRead) > 1 {
+		t.Fatalf("migration read %.0f want %.0f", d.HDFSBytesRead, wantRead)
+	}
+	// The migrated stripe now repairs lightly.
+	b2 := fs.Snapshot()
+	fs.KillNode(s.Node[2])
+	eng.Run()
+	d2 := fs.Delta(b2)
+	if d2.LightRepairs == 0 {
+		t.Fatal("migrated stripe did not use the light decoder")
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	eng, cl := testCluster(t, 50)
+	fs := testFS(t, cl, core.NewXorbas())
+	lrcStripes, _ := fs.AddFile("f", 10)
+	if err := fs.MigrateToLRC("f", lrcStripes, core.NewXorbas(), nil); err == nil {
+		t.Fatal("migrating a non-RS stripe accepted")
+	}
+	fsRS := testFS(t, cl, core.NewRS104())
+	rsStripes, _ := fsRS.AddFile("g", 10)
+	fsRS.LoseBlock(rsStripes[0], 1)
+	if err := fsRS.MigrateToLRC("g", rsStripes, core.NewXorbas(), nil); err == nil {
+		t.Fatal("migrating with lost blocks accepted")
+	}
+	eng.Run()
+}
+
+// Migration of a short (zero-padded) RS stripe creates only the local
+// parities whose groups hold real data.
+func TestMigratePartialStripe(t *testing.T) {
+	eng, cl := testCluster(t, 50)
+	fs := testFS(t, cl, core.NewRS104())
+	rsStripes, err := fs.AddFile("small", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*Stripe
+	if err := fs.MigrateToLRC("small", rsStripes, core.NewXorbas(), func(m []*Stripe) { out = m }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	s := out[0]
+	if s.Node[14] < 0 {
+		t.Fatal("S1 should exist (group 0 has data)")
+	}
+	if s.Node[15] >= 0 {
+		t.Fatal("S2 should not exist (group 1 is all padding)")
+	}
+	// 3 data + 4 parities + S1 = 8 stored.
+	stored := 0
+	for _, n := range s.Node {
+		if n >= 0 {
+			stored++
+		}
+	}
+	if stored != 8 {
+		t.Fatalf("stored %d want 8", stored)
+	}
+}

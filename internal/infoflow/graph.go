@@ -1,0 +1,204 @@
+package infoflow
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Graph is the locality-aware information flow graph G(k, n−k, r, d) of
+// Fig. 9. Entropy is scaled so one coded block carries 1 unit (M/k); the
+// file has k units; an (r+1)-group's joint entropy is capped at r units.
+type Graph struct {
+	K int // file blocks (sources)
+	N int // coded blocks
+	R int // locality: repair groups have r+1 members
+	D int // candidate code distance
+
+	groups [][]int // non-overlapping (r+1)-groups partitioning the n blocks
+}
+
+// Build constructs G(k, n−k, r, d) with non-overlapping repair groups,
+// which requires (r+1) | n — the assumption of the achievability proof
+// (and, per Corollary 2, the distance-optimal arrangement).
+func Build(k, n, r, d int) (*Graph, error) {
+	if k <= 0 || n <= k {
+		return nil, fmt.Errorf("infoflow: invalid k=%d n=%d", k, n)
+	}
+	if r < 1 || r >= n {
+		return nil, fmt.Errorf("infoflow: invalid locality r=%d", r)
+	}
+	if n%(r+1) != 0 {
+		return nil, fmt.Errorf("infoflow: (r+1)=%d must divide n=%d for non-overlapping groups", r+1, n)
+	}
+	if d < 1 || d > n {
+		return nil, fmt.Errorf("infoflow: invalid distance d=%d", d)
+	}
+	g := &Graph{K: k, N: n, R: r, D: d}
+	for base := 0; base < n; base += r + 1 {
+		grp := make([]int, r+1)
+		for i := range grp {
+			grp[i] = base + i
+		}
+		g.groups = append(g.groups, grp)
+	}
+	return g, nil
+}
+
+// Groups returns the (r+1)-groups partitioning the coded blocks.
+func (g *Graph) Groups() [][]int {
+	out := make([][]int, len(g.groups))
+	for i, grp := range g.groups {
+		out[i] = append([]int(nil), grp...)
+	}
+	return out
+}
+
+// NumDataCollectors returns T = C(n, n−d+1), the number of sinks.
+func (g *Graph) NumDataCollectors() *big.Int {
+	return new(big.Int).Binomial(int64(g.N), int64(g.N-g.D+1))
+}
+
+// vertex layout for the flow network:
+//
+//	0                                   super-source
+//	1 … k                               file blocks X_i
+//	k+1 … k+G                           Γin per group
+//	k+G+1 … k+2G                        Γout per group
+//	k+2G+1 … k+2G+n                     Y_in per coded block
+//	k+2G+n+1 … k+2G+2n                  Y_out per coded block
+//	k+2G+2n+1                           data collector (sink)
+func (g *Graph) buildNetwork() (*flowNetwork, func(block int) int, int, int) {
+	G := len(g.groups)
+	numV := 1 + g.K + 2*G + 2*g.N + 1
+	net := newFlowNetwork(numV)
+	src := 0
+	xBase := 1
+	ginBase := 1 + g.K
+	goutBase := ginBase + G
+	yinBase := goutBase + G
+	youtBase := yinBase + g.N
+	sink := youtBase + g.N
+
+	// Super-source feeds each file block with its entropy (1 unit each —
+	// the file totals k units).
+	for i := 0; i < g.K; i++ {
+		net.addEdge(src, xBase+i, 1)
+	}
+	for gi, grp := range g.groups {
+		// Every file block feeds every group (∞ edges in the paper).
+		for i := 0; i < g.K; i++ {
+			net.addEdge(xBase+i, ginBase+gi, inf)
+		}
+		// Group bottleneck: joint entropy of an (r+1)-group ≤ r units.
+		net.addEdge(ginBase+gi, goutBase+gi, g.R)
+		// Group feeds its member blocks.
+		for _, b := range grp {
+			net.addEdge(goutBase+gi, yinBase+b, inf)
+		}
+	}
+	// Block entropy: 1 unit each.
+	for b := 0; b < g.N; b++ {
+		net.addEdge(yinBase+b, youtBase+b, 1)
+	}
+	return net, func(b int) int { return youtBase + b }, src, sink
+}
+
+// MinCutForDC computes the max-flow (= min-cut) from the file blocks to a
+// data collector connected to the given coded blocks.
+func (g *Graph) MinCutForDC(blocks []int) int {
+	net, yOut, src, sink := g.buildNetwork()
+	for _, b := range blocks {
+		net.addEdge(yOut(b), sink, inf)
+	}
+	return net.maxFlow(src, sink)
+}
+
+// MinCutAllDCs enumerates every data collector (all C(n, n−d+1) subsets)
+// and returns the minimum cut over all of them together with one worst
+// subset. This is the exact Lemma 2 check. Cost grows combinatorially;
+// intended for stripe-scale parameters.
+func (g *Graph) MinCutAllDCs() (int, []int) {
+	m := g.N - g.D + 1
+	best := inf
+	var worst []int
+	subset := make([]int, m)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == m {
+			if cut := g.MinCutForDC(subset); cut < best {
+				best = cut
+				worst = append([]int(nil), subset...)
+			}
+			return
+		}
+		for i := start; i < g.N; i++ {
+			subset[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, worst
+}
+
+// Feasible reports whether distance d is information-theoretically
+// feasible for these (k, n, r): every data collector's min-cut reaches
+// the file size k (Lemma 2). By symmetry of the non-overlapping-group
+// construction it checks only the structurally distinct collectors —
+// those defined by how many blocks they take from each group — rather
+// than all C(n, n−d+1) subsets.
+func (g *Graph) Feasible() bool {
+	m := g.N - g.D + 1
+	G := len(g.groups)
+	// Enumerate compositions: take t_i blocks from group i, Σt_i = m,
+	// 0 ≤ t_i ≤ r+1. Groups are interchangeable, so only sorted
+	// compositions matter; enumerating all compositions is still cheap.
+	counts := make([]int, G)
+	feasible := true
+	var rec func(gi, left int)
+	rec = func(gi, left int) {
+		if !feasible {
+			return
+		}
+		if gi == G {
+			if left != 0 {
+				return
+			}
+			var blocks []int
+			for i, t := range counts {
+				blocks = append(blocks, g.groups[i][:t]...)
+			}
+			if g.MinCutForDC(blocks) < g.K {
+				feasible = false
+			}
+			return
+		}
+		max := g.R + 1
+		if left < max {
+			max = left
+		}
+		for t := 0; t <= max; t++ {
+			counts[gi] = t
+			rec(gi+1, left-t)
+		}
+		counts[gi] = 0
+	}
+	rec(0, m)
+	return feasible
+}
+
+// MaxFeasibleDistance returns the largest d for which Feasible holds,
+// scanning downward from the Singleton bound. Along with Theorem 2 this
+// pins the exact optimal distance for (r+1) | n geometries:
+// d = n − ⌈k/r⌉ − k + 2.
+func MaxFeasibleDistance(k, n, r int) (int, error) {
+	for d := n - k + 1; d >= 1; d-- {
+		g, err := Build(k, n, r, d)
+		if err != nil {
+			return 0, err
+		}
+		if g.Feasible() {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("infoflow: no feasible distance for k=%d n=%d r=%d", k, n, r)
+}

@@ -1,0 +1,238 @@
+package infoflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf"
+	"repro/internal/lrc"
+)
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct{ k, n, r, d int }{
+		{0, 6, 2, 2},   // bad k
+		{4, 4, 2, 2},   // n = k
+		{4, 6, 0, 2},   // bad r
+		{4, 6, 6, 2},   // r >= n
+		{10, 16, 5, 5}, // 6 does not divide 16
+		{4, 6, 2, 0},   // bad d
+		{4, 6, 2, 7},   // d > n
+	}
+	for i, c := range cases {
+		if _, err := Build(c.k, c.n, c.r, c.d); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, c)
+		}
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	g, err := Build(10, 18, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := g.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups want 3", len(groups))
+	}
+	seen := map[int]bool{}
+	for _, grp := range groups {
+		if len(grp) != 6 {
+			t.Fatalf("group size %d want 6", len(grp))
+		}
+		for _, b := range grp {
+			if seen[b] {
+				t.Fatalf("block %d in two groups", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != 18 {
+		t.Fatal("groups do not cover all blocks")
+	}
+}
+
+func TestNumDataCollectors(t *testing.T) {
+	g, _ := Build(4, 6, 2, 2)
+	// C(6, 5) = 6
+	if got := g.NumDataCollectors().Int64(); got != 6 {
+		t.Fatalf("T = %d want 6", got)
+	}
+}
+
+// A DC holding every block always achieves the full file entropy.
+func TestMinCutAllBlocks(t *testing.T) {
+	g, _ := Build(4, 9, 2, 5)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if cut := g.MinCutForDC(all); cut != 4 {
+		t.Fatalf("cut %d want k=4", cut)
+	}
+}
+
+// A DC holding a single full group sees at most r units of entropy.
+func TestGroupBottleneck(t *testing.T) {
+	g, _ := Build(4, 9, 2, 5)
+	grp := g.Groups()[0]
+	if cut := g.MinCutForDC(grp); cut != 2 {
+		t.Fatalf("cut %d want r=2", cut)
+	}
+}
+
+// Lemma 2 + Theorem 2: the max feasible distance equals the bound
+// n − ⌈k/r⌉ − k + 2 for (r+1) | n geometries.
+func TestMaxFeasibleDistanceMatchesTheorem2(t *testing.T) {
+	cases := []struct{ k, n, r int }{
+		{4, 9, 2},
+		{10, 18, 5},
+		{6, 12, 3},
+		{8, 15, 4},
+		{4, 8, 3},
+	}
+	for _, c := range cases {
+		want := lrc.DistanceBound(c.k, c.n, c.r)
+		got, err := MaxFeasibleDistance(c.k, c.n, c.r)
+		if err != nil {
+			t.Fatalf("(%d,%d,%d): %v", c.k, c.n, c.r, err)
+		}
+		if got != want {
+			t.Errorf("(%d,%d,%d): feasible distance %d, Theorem 2 bound %d", c.k, c.n, c.r, got, want)
+		}
+	}
+}
+
+// One past the bound must be infeasible — the converse direction.
+func TestBeyondBoundInfeasible(t *testing.T) {
+	k, n, r := 4, 9, 2
+	d := lrc.DistanceBound(k, n, r)
+	g, err := Build(k, n, r, d+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Feasible() {
+		t.Fatalf("d=%d should be infeasible (bound is %d)", d+1, d)
+	}
+}
+
+// Exhaustive MinCutAllDCs agrees with the composition-based Feasible on a
+// small instance.
+func TestFeasibleAgreesWithExhaustive(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		g, err := Build(4, 9, 2, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut, worst := g.MinCutAllDCs()
+		exhaustive := cut >= 4
+		if got := g.Feasible(); got != exhaustive {
+			t.Fatalf("d=%d: Feasible=%v but exhaustive min cut %d (worst DC %v)", d, got, cut, worst)
+		}
+	}
+}
+
+// With r = k the groups impose no real constraint beyond MDS: the
+// feasible distance is Singleton.
+func TestSingletonRecoveredAtTrivialLocality(t *testing.T) {
+	// k=3, r=3, n=8: groups of 4; bound = 8 − 1 − 3 + 2 = 6 = n−k+1.
+	got, err := MaxFeasibleDistance(3, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("got %d want Singleton 6", got)
+	}
+}
+
+func TestRandomLocalCodeStructure(t *testing.T) {
+	f := gf.MustNew(8)
+	rng := rand.New(rand.NewSource(1))
+	gen, err := RandomLocalCode(f, 4, 9, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each group of 3 columns must be linearly dependent (locality): rank
+	// of the 3 columns ≤ 2.
+	for base := 0; base < 9; base += 3 {
+		sub := gen.SelectCols([]int{base, base + 1, base + 2})
+		if sub.Rank() > 2 {
+			t.Fatalf("group at %d has independent columns: locality violated", base)
+		}
+	}
+	if _, err := RandomLocalCode(f, 4, 10, 2, rng); err == nil {
+		t.Fatal("non-divisible n accepted")
+	}
+	if _, err := RandomLocalCode(f, 0, 9, 2, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// Theorem 4 made constructive: a random local code over GF(2^8) achieves
+// the flow-graph-feasible distance within a few draws.
+func TestRLNCAchievesBound(t *testing.T) {
+	f := gf.MustNew(8)
+	rng := rand.New(rand.NewSource(42))
+	gen, d, tries, err := AchievesBound(f, 4, 9, 2, rng, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lrc.DistanceBound(4, 9, 2)
+	if d < want {
+		t.Fatalf("distance %d below bound %d", d, want)
+	}
+	t.Logf("RLNC (4,9,2): d=%d in %d tries", d, tries)
+	if gen.Rows() != 4 || gen.Cols() != 9 {
+		t.Fatal("generator shape wrong")
+	}
+}
+
+// Over a tiny field the failure probability (1 − T/q)^η is not negligible;
+// exercise the retry-exhaustion path with an impossible target.
+func TestAchievesBoundExhaustion(t *testing.T) {
+	f := gf.MustNew(2) // GF(4): far too small for most geometries
+	rng := rand.New(rand.NewSource(3))
+	if _, _, _, err := AchievesBound(f, 4, 9, 2, rng, 2); err == nil {
+		t.Skip("tiny field got lucky; acceptable")
+	}
+}
+
+// GeneratorDistance agrees with the LRC package's enumeration on the
+// Xorbas code.
+func TestGeneratorDistanceMatchesLRC(t *testing.T) {
+	c := lrc.NewXorbas()
+	if d := GeneratorDistance(c.Generator()); d != c.MinDistance() {
+		t.Fatalf("infoflow distance %d != lrc distance %d", d, c.MinDistance())
+	}
+}
+
+// The Xorbas geometry does not satisfy (r+1)|n (6 ∤ 16) — the paper's
+// Theorem 5 handles it with overlapping-group entropy arguments, giving
+// d = 5 < bound 6. Verify both facts side by side.
+func TestXorbasOverlapPenalty(t *testing.T) {
+	c := lrc.NewXorbas()
+	bound := lrc.DistanceBound(10, 16, 5)
+	if bound != 6 {
+		t.Fatalf("bound %d want 6", bound)
+	}
+	if d := c.MinDistance(); d != 5 {
+		t.Fatalf("actual distance %d want 5 (optimal per Theorem 5)", d)
+	}
+	if _, err := Build(10, 16, 5, 5); err == nil {
+		t.Fatal("Build should reject 6 ∤ 16")
+	}
+}
+
+func BenchmarkMinCutOneDC(b *testing.B) {
+	g, _ := Build(10, 18, 5, 8)
+	dc := []int{0, 1, 2, 3, 4, 6, 7, 8, 9, 12, 13}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MinCutForDC(dc)
+	}
+}
+
+func BenchmarkFeasibleCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _ := Build(10, 18, 5, 8)
+		if !g.Feasible() {
+			b.Fatal("should be feasible")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package infoflow implements the locality-aware information flow graph
+// of Appendix C and the machinery around the paper's locality–distance
+// tradeoff (Theorem 2, Lemma 2, Theorems 3–4).
+//
+// The graph G(k, n−k, r, d) models the k file blocks as sources, the n
+// coded blocks as capacity-1 vertices (entropy M/k, scaled to 1 unit),
+// and each (r+1)-repair-group as a flow bottleneck of capacity r units.
+// Every data collector (DC) connects to n−d+1 coded blocks; a distance d
+// is feasible exactly when the minimum source→DC cut is at least k for
+// all C(n, n−d+1) collectors (Lemma 2), in which case random linear
+// network coding achieves it (Theorem 3).
+package infoflow
+
+// maxflow.go: a self-contained Dinic max-flow solver on small graphs.
+
+const inf = int(1) << 40
+
+type edge struct {
+	to, rev int // destination vertex; index of reverse edge in adj[to]
+	cap     int
+}
+
+// flowNetwork is a unit-capacity-scaled directed flow network.
+type flowNetwork struct {
+	adj [][]edge
+}
+
+func newFlowNetwork(n int) *flowNetwork {
+	return &flowNetwork{adj: make([][]edge, n)}
+}
+
+// addEdge inserts a directed edge u→v with the given capacity.
+func (g *flowNetwork) addEdge(u, v, cap int) {
+	g.adj[u] = append(g.adj[u], edge{to: v, rev: len(g.adj[v]), cap: cap})
+	g.adj[v] = append(g.adj[v], edge{to: u, rev: len(g.adj[u]) - 1, cap: 0})
+}
+
+// maxFlow computes the s→t maximum flow with Dinic's algorithm. The
+// network's residual capacities are consumed; build a fresh network per
+// query (graphs here are tiny).
+func (g *flowNetwork) maxFlow(s, t int) int {
+	n := len(g.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, s)
+		level[s] = 0
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, e := range g.adj[u] {
+				if e.cap > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u, f int) int
+	dfs = func(u, f int) int {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			e := &g.adj[u][iter[u]]
+			if e.cap <= 0 || level[e.to] != level[u]+1 {
+				continue
+			}
+			d := dfs(e.to, min(f, e.cap))
+			if d > 0 {
+				e.cap -= d
+				g.adj[e.to][e.rev].cap += d
+				return d
+			}
+		}
+		return 0
+	}
+
+	flow := 0
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package infoflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf"
+	"repro/internal/lrc"
+)
+
+// Property: over random (k, r, group-count) geometries with (r+1)|n, the
+// flow-graph max feasible distance never exceeds the Theorem 2 bound and
+// the bound itself is always feasible.
+func TestPropertyFlowMatchesBound(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 2 + rng.Intn(3)      // 2..4
+		groups := 2 + rng.Intn(3) // 2..4
+		n := (r + 1) * groups     // (r+1) | n
+		kMax := n - groups - 1    // leave at least one global parity
+		if kMax < 2 {
+			return true
+		}
+		k := 2 + rng.Intn(kMax-1)
+		bound := lrc.DistanceBound(k, n, r)
+		if bound < 1 {
+			return true
+		}
+		got, err := MaxFeasibleDistance(k, n, r)
+		if err != nil {
+			return false
+		}
+		return got == bound
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: feasibility is monotone in d — if d is feasible, every
+// smaller distance is too.
+func TestPropertyFeasibilityMonotone(t *testing.T) {
+	k, n, r := 6, 12, 3
+	max, err := MaxFeasibleDistance(k, n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= n-k+1; d++ {
+		g, err := Build(k, n, r, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d <= max
+		if got := g.Feasible(); got != want {
+			t.Fatalf("d=%d: feasible=%v want %v (max=%d)", d, got, want, max)
+		}
+	}
+}
+
+// Property: min cut is monotone in the data collector's block set.
+func TestPropertyCutMonotone(t *testing.T) {
+	g, err := Build(6, 12, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		perm := rng.Perm(12)
+		small := perm[:4]
+		big := perm[:8]
+		if g.MinCutForDC(small) > g.MinCutForDC(big) {
+			t.Fatalf("cut not monotone: %v vs %v", small, big)
+		}
+	}
+	// And capped by both the file size and the group bottlenecks.
+	all := rng.Perm(12)
+	if cut := g.MinCutForDC(all); cut != 6 {
+		t.Fatalf("full cut %d want k=6", cut)
+	}
+}
+
+// Property: random local codes never beat the flow bound (soundness of
+// the converse).
+func TestPropertyRLNCBelowBound(t *testing.T) {
+	f := gfField(t)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		k, n, r := 4, 9, 2
+		gen, err := RandomLocalCode(f, k, n, r, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := GeneratorDistance(gen)
+		bound := lrc.DistanceBound(k, n, r)
+		if d > bound {
+			t.Fatalf("random local code distance %d beats the bound %d", d, bound)
+		}
+	}
+}
+
+func gfField(t *testing.T) *gf.Field {
+	t.Helper()
+	return gf.MustNew(8)
+}

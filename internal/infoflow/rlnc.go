@@ -1,0 +1,106 @@
+package infoflow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf"
+	"repro/internal/matrix"
+)
+
+// RandomLocalCode draws a random (k, n−k) linear code with locality r in
+// the sense of Theorem 4: the n coded blocks are partitioned into
+// non-overlapping (r+1)-groups and within each group the last block is a
+// random nonzero combination of the other r, so any group member is a
+// function of the remaining r. All other generator entries are uniform.
+// This is the random-linear-network-coding achievability scheme of
+// Theorem 3 (Ho et al. [16]) instantiated on the flow graph's structure.
+func RandomLocalCode(f *gf.Field, k, n, r int, rng *rand.Rand) (*matrix.Matrix, error) {
+	if n%(r+1) != 0 {
+		return nil, fmt.Errorf("infoflow: (r+1)=%d must divide n=%d", r+1, n)
+	}
+	if k <= 0 || n <= k {
+		return nil, fmt.Errorf("infoflow: invalid k=%d n=%d", k, n)
+	}
+	gen := matrix.New(f, k, n)
+	for base := 0; base < n; base += r + 1 {
+		// First r columns of the group: uniform random.
+		for j := base; j < base+r; j++ {
+			for i := 0; i < k; i++ {
+				gen.Set(i, j, gf.Elem(rng.Intn(f.Size())))
+			}
+		}
+		// Last column: random nonzero combination of the group's others.
+		last := base + r
+		for j := base; j < base+r; j++ {
+			c := gf.Elem(1 + rng.Intn(f.Size()-1))
+			for i := 0; i < k; i++ {
+				gen.Set(i, last, f.Add(gen.At(i, last), f.Mul(c, gen.At(i, j))))
+			}
+		}
+	}
+	return gen, nil
+}
+
+// GeneratorDistance computes the exact minimum distance of the code with
+// the given k×n generator by exhaustive erasure enumeration: the smallest
+// e such that erasing some e columns drops the rank of the rest below k.
+// Returns n−k+1 (Singleton) if no pattern is fatal.
+func GeneratorDistance(gen *matrix.Matrix) int {
+	k, n := gen.Rows(), gen.Cols()
+	for e := 1; e <= n-k+1; e++ {
+		idx := make([]int, e)
+		fatal := false
+		var rec func(start, depth int) bool
+		rec = func(start, depth int) bool {
+			if depth == e {
+				em := make(map[int]bool, e)
+				for _, i := range idx {
+					em[i] = true
+				}
+				keep := make([]int, 0, n-e)
+				for j := 0; j < n; j++ {
+					if !em[j] {
+						keep = append(keep, j)
+					}
+				}
+				return gen.SelectCols(keep).Rank() < k
+			}
+			for i := start; i < n; i++ {
+				idx[depth] = i
+				if rec(i+1, depth+1) {
+					return true
+				}
+			}
+			return false
+		}
+		fatal = rec(0, 0)
+		if fatal {
+			return e
+		}
+	}
+	return n - k + 1
+}
+
+// AchievesBound draws random local codes until one meets the flow-graph
+// feasible distance (Theorem 4's existence, made constructive). It
+// returns the generator, its distance, and the number of draws.
+func AchievesBound(f *gf.Field, k, n, r int, rng *rand.Rand, maxTries int) (*matrix.Matrix, int, int, error) {
+	target, err := MaxFeasibleDistance(k, n, r)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if maxTries <= 0 {
+		maxTries = 32
+	}
+	for try := 1; try <= maxTries; try++ {
+		gen, err := RandomLocalCode(f, k, n, r, rng)
+		if err != nil {
+			return nil, 0, try, err
+		}
+		if d := GeneratorDistance(gen); d >= target {
+			return gen, d, try, nil
+		}
+	}
+	return nil, 0, maxTries, fmt.Errorf("infoflow: no distance-%d code in %d tries (field too small?)", target, maxTries)
+}

@@ -1,0 +1,371 @@
+package lrc
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Encode computes the full stored stripe for K data shards: the data,
+// the Reed-Solomon global parities, and the local parities (plus S_impl
+// if StoreImplied). Shards must be non-nil and equal length; they are
+// referenced, not copied. This is the HDFS-Xorbas encoder of §3.1.1.
+// Every non-data block is a generator-column combination of the data, so
+// one loop covers both the LRC and pyramid layouts; zero coefficients
+// short-circuit, which keeps the local XOR parities as cheap as a direct
+// XOR pass.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.params.K {
+		return nil, fmt.Errorf("lrc: got %d data shards, want %d", len(data), c.params.K)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if d == nil || len(d) != size {
+			return nil, fmt.Errorf("lrc: data shard %d nil or size mismatch", i)
+		}
+	}
+	stripe := make([][]byte, c.nStored)
+	copy(stripe, data)
+	for j := c.params.K; j < c.nStored; j++ {
+		p := make([]byte, size)
+		for i := 0; i < c.params.K; i++ {
+			c.f.MulAddSlice(c.gen.At(i, j), p, data[i])
+		}
+		stripe[j] = p
+	}
+	return stripe, nil
+}
+
+// EncodePartial encodes a short stripe of fewer than K data shards, the
+// paper's zero-padded incomplete stripe (§3.1.1): missing data blocks are
+// treated as all-zero and are NOT stored. The returned slice still has
+// NStored entries; entries that correspond to padding data blocks and to
+// local parities whose whole group is padding are nil. Use Exists to ask
+// which stripe positions are physically stored for a given data count.
+func (c *Code) EncodePartial(data [][]byte, size int) ([][]byte, error) {
+	if len(data) == 0 || len(data) > c.params.K {
+		return nil, fmt.Errorf("lrc: partial stripe with %d shards, want 1..%d", len(data), c.params.K)
+	}
+	full := make([][]byte, c.params.K)
+	copy(full, data)
+	zero := make([]byte, size)
+	for i := len(data); i < c.params.K; i++ {
+		full[i] = zero
+	}
+	stripe, err := c.Encode(full)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.nStored; i++ {
+		if !c.Exists(i, len(data)) {
+			stripe[i] = nil
+		}
+	}
+	return stripe, nil
+}
+
+// Exists reports whether stripe position i is physically stored when the
+// stripe holds dataCount ≤ K real data blocks. Padding data blocks do not
+// exist; a local parity exists only if its group covers at least one real
+// data block; global parities and S_impl always exist (they mix all data).
+func (c *Code) Exists(i, dataCount int) bool {
+	switch c.kinds[i] {
+	case Data:
+		return i < dataCount
+	case GlobalParity:
+		return true
+	case LocalParity:
+		gi := c.groupOf[i]
+		if gi >= len(c.dataGroups) {
+			return true // the parity group's stored local parity (S_impl)
+		}
+		return c.dataGroups[gi][0] < dataCount
+	}
+	return false
+}
+
+// StoredCount returns how many blocks a stripe with dataCount real data
+// blocks stores. For Xorbas with dataCount=10 this is 16; with 3 (the
+// Facebook small-file case, Table 3) it is 3+4+1 = 8.
+func (c *Code) StoredCount(dataCount int) int {
+	n := 0
+	for i := 0; i < c.nStored; i++ {
+		if c.Exists(i, dataCount) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReconstructBlock rebuilds the payload of stored block i from a stripe
+// with nil entries for missing blocks, preferring the light decoder
+// (§3.1.2). It returns the payload, whether the light decoder sufficed,
+// and an error if neither decoder can proceed. The input stripe is not
+// modified — this is also the degraded-read path, where the rebuilt block
+// is served but never written back (§1.1).
+func (c *Code) ReconstructBlock(stripe [][]byte, i int) (payload []byte, light bool, err error) {
+	if len(stripe) != c.nStored {
+		return nil, false, fmt.Errorf("lrc: got %d stripe entries, want %d", len(stripe), c.nStored)
+	}
+	if stripe[i] != nil {
+		out := append([]byte(nil), stripe[i]...)
+		return out, true, nil
+	}
+	if r := c.recipeCache[i]; r != nil {
+		size := -1
+		ok := true
+		for _, j := range r.reads {
+			if stripe[j] == nil {
+				ok = false
+				break
+			}
+			size = len(stripe[j])
+		}
+		if ok && size > 0 {
+			out := make([]byte, size)
+			for jj, j := range r.reads {
+				c.f.MulAddSlice(r.coefs[jj], out, stripe[j])
+			}
+			return out, true, nil
+		}
+	}
+	// Heavy decoder: solve for the data from any independent available set.
+	data, err := c.solveData(stripe)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]byte, len(data[0]))
+	for r := 0; r < c.params.K; r++ {
+		c.f.MulAddSlice(c.gen.At(r, i), out, data[r])
+	}
+	return out, false, nil
+}
+
+// Reconstruct fills every nil entry of the stripe in place, using the
+// light decoder where possible, and returns how many blocks each decoder
+// rebuilt. Light repairs are applied iteratively: repairing one block can
+// unlock light repair of another (e.g. two losses in different groups).
+func (c *Code) Reconstruct(stripe [][]byte) (lightCount, heavyCount int, err error) {
+	if len(stripe) != c.nStored {
+		return 0, 0, fmt.Errorf("lrc: got %d stripe entries, want %d", len(stripe), c.nStored)
+	}
+	// Light passes until fixpoint.
+	for {
+		progressed := false
+		for i := 0; i < c.nStored; i++ {
+			if stripe[i] != nil {
+				continue
+			}
+			r := c.recipeCache[i]
+			if r == nil {
+				continue
+			}
+			ready := true
+			for _, j := range r.reads {
+				if stripe[j] == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			out := make([]byte, len(stripe[r.reads[0]]))
+			for jj, j := range r.reads {
+				c.f.MulAddSlice(r.coefs[jj], out, stripe[j])
+			}
+			stripe[i] = out
+			lightCount++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	// Heavy pass for anything left.
+	var data [][]byte
+	for i := 0; i < c.nStored; i++ {
+		if stripe[i] != nil {
+			continue
+		}
+		if data == nil {
+			data, err = c.solveData(stripe)
+			if err != nil {
+				return lightCount, heavyCount, err
+			}
+		}
+		out := make([]byte, len(data[0]))
+		for r := 0; r < c.params.K; r++ {
+			c.f.MulAddSlice(c.gen.At(r, i), out, data[r])
+		}
+		stripe[i] = out
+		heavyCount++
+	}
+	return lightCount, heavyCount, nil
+}
+
+// solveData recovers the K data payloads from any rank-K independent set
+// of available blocks (the heavy decoder's linear system, §3.1.2).
+func (c *Code) solveData(stripe [][]byte) ([][]byte, error) {
+	k := c.params.K
+	var avail []int
+	size := -1
+	for i, s := range stripe {
+		if s != nil {
+			avail = append(avail, i)
+			if size == -1 {
+				size = len(s)
+			} else if len(s) != size {
+				return nil, fmt.Errorf("lrc: shard size mismatch at %d", i)
+			}
+		}
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("lrc: empty stripe")
+	}
+	chosen := c.independentSubset(avail)
+	if len(chosen) < k {
+		return nil, fmt.Errorf("lrc: unrecoverable: available blocks have rank %d < %d", len(chosen), k)
+	}
+	sub := c.gen.SelectCols(chosen)
+	inv, err := sub.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("lrc: internal: chosen columns singular: %w", err)
+	}
+	data := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		x := make([]byte, size)
+		for j := 0; j < k; j++ {
+			c.f.MulAddSlice(inv.At(j, i), x, stripe[chosen[j]])
+		}
+		data[i] = x
+	}
+	return data, nil
+}
+
+// independentSubset greedily selects up to K available column indices with
+// linearly independent generator columns, preferring systematic (data)
+// columns so the solve degenerates to a copy when possible.
+func (c *Code) independentSubset(avail []int) []int {
+	k := c.params.K
+	// Order: data columns first, then the rest in index order.
+	order := make([]int, 0, len(avail))
+	for _, i := range avail {
+		if c.kinds[i] == Data {
+			order = append(order, i)
+		}
+	}
+	for _, i := range avail {
+		if c.kinds[i] != Data {
+			order = append(order, i)
+		}
+	}
+	// Incremental Gaussian elimination. byLead[r] is a reduced vector with
+	// leading nonzero at position r and zeros before it, so eliminating at
+	// position r never reintroduces nonzeros at earlier positions.
+	byLead := make([][]gf.Elem, k)
+	var chosen []int
+	f := c.f
+	for _, col := range order {
+		if len(chosen) == k {
+			break
+		}
+		v := make([]gf.Elem, k)
+		for r := 0; r < k; r++ {
+			v[r] = c.gen.At(r, col)
+		}
+		inserted := false
+		for r := 0; r < k; r++ {
+			if v[r] == 0 {
+				continue
+			}
+			b := byLead[r]
+			if b == nil {
+				byLead[r] = v
+				inserted = true
+				break
+			}
+			coef := f.Div(v[r], b[r])
+			for j := r; j < k; j++ {
+				if b[j] != 0 {
+					v[j] = f.Add(v[j], f.Mul(coef, b[j]))
+				}
+			}
+		}
+		if inserted {
+			chosen = append(chosen, col)
+		}
+	}
+	return chosen
+}
+
+// Verify recomputes the stripe from its data shards and reports whether
+// every stored block is consistent. All NStored entries must be non-nil.
+func (c *Code) Verify(stripe [][]byte) (bool, error) {
+	if len(stripe) != c.nStored {
+		return false, fmt.Errorf("lrc: got %d stripe entries, want %d", len(stripe), c.nStored)
+	}
+	for i, s := range stripe {
+		if s == nil {
+			return false, fmt.Errorf("lrc: Verify requires all blocks, %d missing", i)
+		}
+	}
+	enc, err := c.Encode(stripe[:c.params.K])
+	if err != nil {
+		return false, err
+	}
+	for i := c.params.K; i < c.nStored; i++ {
+		if !bytes.Equal(enc[i], stripe[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// UpgradeFromRS converts an existing Reed-Solomon stripe (K data blocks
+// followed by the global parities) into an LRC stripe by computing only
+// the new local parities — the paper's backwards-compatible incremental
+// migration path (§3.1): "Xorbas … can incrementally modify RS encoded
+// files into LRCs by adding only local XOR parities."
+func (c *Code) UpgradeFromRS(rsStripe [][]byte) ([][]byte, error) {
+	if len(rsStripe) != c.NPre() {
+		return nil, fmt.Errorf("lrc: got %d RS blocks, want %d", len(rsStripe), c.NPre())
+	}
+	// The upgrade keeps every RS block in place, which requires the LRC
+	// layout (pyramid codes split an RS parity and cannot be reached
+	// incrementally).
+	for i := c.params.K; i < c.NPre(); i++ {
+		if c.kinds[i] != GlobalParity {
+			return nil, fmt.Errorf("lrc: layout is not an RS extension; incremental upgrade impossible")
+		}
+	}
+	size := -1
+	for i, s := range rsStripe {
+		if s == nil {
+			return nil, fmt.Errorf("lrc: RS block %d missing", i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, fmt.Errorf("lrc: RS block %d size mismatch", i)
+		}
+	}
+	stripe := make([][]byte, c.nStored)
+	copy(stripe, rsStripe)
+	for gi, members := range c.dataGroups {
+		p := make([]byte, size)
+		for mi, dj := range members {
+			c.f.MulAddSlice(c.coeffs[gi][mi], p, stripe[dj])
+		}
+		stripe[c.NPre()+gi] = p
+	}
+	if c.params.StoreImplied {
+		p := make([]byte, size)
+		for j := c.params.K; j < c.NPre(); j++ {
+			c.f.MulAddSlice(1, p, stripe[j])
+		}
+		stripe[c.nStored-1] = p
+	}
+	return stripe, nil
+}

@@ -1,0 +1,227 @@
+package lrc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random geometries, encode → erase up to (exact d − 1)
+// random blocks → Reconstruct round-trips bit-exactly.
+func TestPropertyRandomGeometryRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 4 + r.Intn(6)    // 4..9
+		p := 2 + r.Intn(3)    // 2..4
+		gs := 2 + r.Intn(k-1) // 2..k
+		params := Params{K: k, GlobalParities: p, GroupSize: gs, StoreImplied: r.Intn(2) == 0}
+		c, err := New(params)
+		if err != nil {
+			return false
+		}
+		d := c.MinDistance()
+		stripe, err := c.Encode(randData(r, k, 1+r.Intn(48)))
+		if err != nil {
+			return false
+		}
+		orig := make([][]byte, len(stripe))
+		for i := range stripe {
+			orig[i] = append([]byte(nil), stripe[i]...)
+		}
+		e := 1 + r.Intn(d-1)
+		for _, i := range r.Perm(c.NStored())[:e] {
+			stripe[i] = nil
+		}
+		if _, _, err := c.Reconstruct(stripe); err != nil {
+			return false
+		}
+		for i := range stripe {
+			if !bytes.Equal(stripe[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the repair planner and the payload decoder agree — whenever
+// PlanRepair says a block is repairable with a light plan, decoding from
+// exactly the planned read set reproduces the payload.
+func TestPropertyPlannerCodecAgreement(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(99))
+	stripe, err := c.Encode(randData(r, 10, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exists := fullMask(16, true)
+	if err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		avail := fullMask(16, true)
+		// Erase 1..4 blocks.
+		lostSet := rr.Perm(16)[:1+rr.Intn(4)]
+		for _, i := range lostSet {
+			avail[i] = false
+		}
+		lost := lostSet[0]
+		plan, err := c.PlanRepair(lost, exists, avail, true)
+		if err != nil {
+			// Unrecoverable per planner: the codec must also fail.
+			work := make([][]byte, 16)
+			for i := range work {
+				if avail[i] {
+					work[i] = stripe[i]
+				}
+			}
+			_, _, derr := c.ReconstructBlock(work, lost)
+			return derr != nil
+		}
+		// Decode using ONLY the planned reads.
+		work := make([][]byte, 16)
+		for _, j := range plan.Reads {
+			work[j] = stripe[j]
+		}
+		got, light, err := c.ReconstructBlock(work, lost)
+		if err != nil {
+			return false
+		}
+		if plan.Light != light {
+			return false
+		}
+		return bytes.Equal(got, stripe[lost])
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the light plan never reads more than Locality() blocks, and
+// heavy deployed plans read every available block.
+func TestPropertyPlanSizes(t *testing.T) {
+	c := NewXorbas()
+	exists := fullMask(16, true)
+	if err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		avail := fullMask(16, true)
+		lostSet := rr.Perm(16)[:1+rr.Intn(4)]
+		for _, i := range lostSet {
+			avail[i] = false
+		}
+		lost := lostSet[0]
+		plan, err := c.PlanRepair(lost, exists, avail, true)
+		if err != nil {
+			return true
+		}
+		if plan.Light {
+			return len(plan.Reads) <= c.Locality()
+		}
+		avail16 := 0
+		for i, a := range avail {
+			if a && i != lost {
+				avail16++
+			}
+		}
+		return len(plan.Reads) == avail16
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Exists/StoredCount are consistent and monotone in dataCount.
+func TestPropertyExistsMonotone(t *testing.T) {
+	c := NewXorbas()
+	prev := 0
+	for dc := 1; dc <= 10; dc++ {
+		n := 0
+		for pos := 0; pos < c.NStored(); pos++ {
+			if c.Exists(pos, dc) {
+				n++
+			}
+		}
+		if n != c.StoredCount(dc) {
+			t.Fatalf("dc=%d: Exists count %d != StoredCount %d", dc, n, c.StoredCount(dc))
+		}
+		if n < prev {
+			t.Fatalf("StoredCount not monotone at %d", dc)
+		}
+		prev = n
+	}
+	if c.StoredCount(10) != 16 {
+		t.Fatal("full stripe should store 16")
+	}
+}
+
+// Property: degraded read equals repair — ReconstructBlock's payload for
+// a missing block matches what a full Reconstruct writes back.
+func TestPropertyDegradedEqualsRepair(t *testing.T) {
+	c := NewXorbas()
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stripe, err := c.Encode(randData(r, 10, 16))
+		if err != nil {
+			return false
+		}
+		lost := r.Intn(16)
+		work1 := make([][]byte, 16)
+		copy(work1, stripe)
+		work1[lost] = nil
+		got, _, err := c.ReconstructBlock(work1, lost)
+		if err != nil {
+			return false
+		}
+		work2 := make([][]byte, 16)
+		copy(work2, stripe)
+		work2[lost] = nil
+		if _, _, err := c.Reconstruct(work2); err != nil {
+			return false
+		}
+		return bytes.Equal(got, work2[lost]) && bytes.Equal(got, stripe[lost])
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generator column of a fresh code is nonzero and the
+// data columns form the identity (systematic form survives all geometry
+// choices).
+func TestPropertySystematicForm(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 3 + r.Intn(8)
+		params := Params{K: k, GlobalParities: 2 + r.Intn(3), GroupSize: 2 + r.Intn(k-1)}
+		c, err := New(params)
+		if err != nil {
+			return false
+		}
+		g := c.Generator()
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := uint16(0)
+				if i == j {
+					want = 1
+				}
+				if g.At(i, j) != want {
+					return false
+				}
+			}
+		}
+		// No zero columns (a zero column would be a wasted block).
+		for j := 0; j < c.NStored(); j++ {
+			zero := true
+			for i := 0; i < k; i++ {
+				if g.At(i, j) != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

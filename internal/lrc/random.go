@@ -1,0 +1,93 @@
+package lrc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf"
+)
+
+// NewRandomized draws random nonzero local-parity coefficients and retries
+// until the resulting code meets the Theorem 2 distance bound, mirroring
+// the paper's randomized construction (Appendix C: a random linear code
+// achieves the cut-set bound with probability ≥ (1 − T/q)^η, so a handful
+// of draws over GF(2^8) suffices).
+//
+// Alignment constraint: when the parity-group local parity is implied
+// (Fig. 2's S3), repairs reconstruct it as Σ_g S_g, which requires the
+// alignment condition Σ_g S_g + Σ_j P_j = 0. Because the systematic data
+// columns are linearly independent, alignment forces the coefficients
+// within each group to share one value a_g (S_g = a_g·ΣX_i, a scaled
+// XOR) — the structural reason the paper's c_i = 1 choice is essentially
+// canonical. So with implied parity we randomize one nonzero scalar per
+// group; with StoreImplied we randomize every coefficient independently.
+//
+// The exact minimum distance is verified by enumeration, so use this for
+// stripe-scale parameters only. It returns the code and the number of
+// tries used.
+func NewRandomized(p Params, rng *rand.Rand, maxTries int) (*Code, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if maxTries <= 0 {
+		maxTries = 32
+	}
+	// Target: the exact distance of the canonical all-ones construction.
+	// The raw Theorem 2 bound can be unachievable when (r+1) ∤ n — e.g.
+	// for the (10,6,5) geometry the bound gives 6 but overlapping groups
+	// cap the distance at 5 (Theorem 5 proves 5 is optimal there) — so the
+	// deterministic construction's distance is the right yardstick.
+	canonical, err := New(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	target := canonical.MinDistance()
+	for try := 1; try <= maxTries; try++ {
+		var coeff func(g, j int) gf.Elem
+		if p.StoreImplied {
+			coeff = func(g, j int) gf.Elem { return gf.Elem(1 + rng.Intn(254)) }
+		} else {
+			perGroup := make([]gf.Elem, p.numGroups())
+			for i := range perGroup {
+				perGroup[i] = gf.Elem(1 + rng.Intn(254))
+			}
+			coeff = func(g, j int) gf.Elem { return perGroup[g] }
+		}
+		c, err := newWithCoefficientFn(p, coeff)
+		if err != nil {
+			return nil, try, err
+		}
+		if c.VerifyLocality() != nil {
+			continue
+		}
+		if c.MinDistance() >= target {
+			return c, try, nil
+		}
+	}
+	return nil, maxTries, fmt.Errorf("lrc: no distance-%d code found in %d randomized tries", target, maxTries)
+}
+
+// storedLen computes NStored for a geometry without building the code.
+func storedLen(p Params) int {
+	n := p.K + p.GlobalParities + p.numGroups()
+	if p.StoreImplied {
+		n++
+	}
+	return n
+}
+
+// TheoremOneParams returns the (k, n−k, r) geometry of Theorem 1 for a
+// given k: logarithmic locality r = ⌈log2(k)⌉ with one local parity per
+// group layered on an MDS precode with the requested number of global
+// parities. The resulting distance approaches the MDS distance of the
+// same rate as k grows (Corollary 1).
+func TheoremOneParams(k, globalParities int) Params {
+	r := 1
+	for 1<<r < k {
+		r++
+	}
+	if r < 2 {
+		r = 2
+	}
+	return Params{K: k, GlobalParities: globalParities, GroupSize: r}
+}

@@ -1,0 +1,125 @@
+package lrc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGroupSyndromeCleanStripe(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(1))
+	stripe, _ := c.Encode(randData(r, 10, 64))
+	for gi := 0; gi < 3; gi++ {
+		syn, err := c.GroupSyndrome(stripe, gi)
+		if err != nil {
+			t.Fatalf("group %d: %v", gi, err)
+		}
+		if !zeroSyndrome(syn) {
+			t.Fatalf("group %d fired on a clean stripe", gi)
+		}
+	}
+	if _, err := c.GroupSyndrome(stripe, 5); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+	stripe[3] = nil
+	if _, err := c.GroupSyndrome(stripe, 0); err == nil {
+		t.Fatal("missing member accepted")
+	}
+}
+
+// A single flipped byte fires exactly its group's syndrome.
+func TestGroupSyndromeLocalizesGroup(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(2))
+	stripe, _ := c.Encode(randData(r, 10, 64))
+	stripe[7][10] ^= 0x5a // X8: group 1
+	fired := make([]bool, 3)
+	for gi := 0; gi < 3; gi++ {
+		syn, err := c.GroupSyndrome(stripe, gi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired[gi] = !zeroSyndrome(syn)
+	}
+	if fired[0] || !fired[1] || fired[2] {
+		t.Fatalf("fired=%v want only group 1", fired)
+	}
+}
+
+// LocateCorruption pins a single corrupted block exactly, for every
+// block role (data, global parity, local parity).
+func TestLocateCorruptionSingleBlock(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(3))
+	for _, victim := range []int{0, 4, 7, 10, 13, 14, 15} {
+		stripe, _ := c.Encode(randData(r, 10, 32))
+		stripe[victim][3] ^= 0xff
+		got, err := c.LocateCorruption(stripe)
+		if err != nil {
+			t.Fatalf("victim %d: %v", victim, err)
+		}
+		if len(got) != 1 || got[0] != victim {
+			t.Fatalf("victim %d: located %v", victim, got)
+		}
+	}
+}
+
+func TestLocateCorruptionCleanStripe(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(4))
+	stripe, _ := c.Encode(randData(r, 10, 32))
+	got, err := c.LocateCorruption(stripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("clean stripe flagged %v", got)
+	}
+}
+
+// Two corruptions in different groups: both groups fire; the report
+// covers both victims.
+func TestLocateCorruptionTwoBlocks(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(5))
+	stripe, _ := c.Encode(randData(r, 10, 32))
+	stripe[1][0] ^= 1 // group 0
+	stripe[8][0] ^= 1 // group 1
+	got, err := c.LocateCorruption(stripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[int]bool{}
+	for _, j := range got {
+		has[j] = true
+	}
+	if !has[1] || !has[8] {
+		t.Fatalf("victims not covered: %v", got)
+	}
+}
+
+func TestLocateCorruptionValidation(t *testing.T) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(6))
+	stripe, _ := c.Encode(randData(r, 10, 32))
+	stripe[2] = nil
+	if _, err := c.LocateCorruption(stripe); err == nil {
+		t.Fatal("missing block accepted")
+	}
+	if _, err := c.LocateCorruption(stripe[:4]); err == nil {
+		t.Fatal("short stripe accepted")
+	}
+}
+
+func BenchmarkGroupSyndrome(b *testing.B) {
+	c := NewXorbas()
+	r := rand.New(rand.NewSource(1))
+	stripe, _ := c.Encode(randData(r, 10, 1<<16))
+	b.SetBytes(6 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GroupSyndrome(stripe, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

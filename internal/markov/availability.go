@@ -1,0 +1,85 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Availability analysis (§4's closing discussion): "for either RS or
+// LRC, a job requesting a lost block must wait for the completion of the
+// repair job. Since LRCs complete these jobs faster, they will have
+// higher availability due to these faster degraded reads."
+//
+// For the absorbing birth-death chain we compute the expected total time
+// spent in each transient state before data loss (the fundamental-matrix
+// row of state 0) and derive the fraction of a stripe's lifetime during
+// which at least one block is missing — the window in which reads of the
+// affected blocks are degraded.
+
+// SojournTimes returns T_j, the expected total time spent in transient
+// state j (j blocks lost) before absorption, starting from state 0. The
+// sum of T_j is AbsorptionTime.
+//
+// Derivation (stable closed form — a fundamental-matrix solve cancels
+// catastrophically at ρ/λ ~ 10⁶): absorption happens above every
+// transient state, so each state j is visited at least once and the
+// expected visit count is V_j = 1/(q_j·γ_{j+1}), where q_j = λ_j/σ_j is
+// the up-step probability and γ_{j+1} is the gambler's-ruin escape
+// probability of reaching the absorbing state m from j+1 before falling
+// back to j:
+//
+//	γ_{j+1} = 1 / (1 + Σ_{i=j+1}^{m−1} Π_{l=j+1}^{i} ρ_l/λ_l).
+//
+// With mean sojourn 1/σ_j per visit, T_j = V_j/σ_j = (1/λ_j)·(1/γ_{j+1})
+// — a sum of positive terms only.
+func (c *Chain) SojournTimes() []float64 {
+	m := c.States()
+	t := make([]float64, m)
+	for j := 0; j < m; j++ {
+		sum, prod := 1.0, 1.0
+		for i := j + 1; i < m; i++ {
+			prod *= c.Rho[i] / c.Lambda[i]
+			sum += prod
+		}
+		t[j] = sum / c.Lambda[j]
+	}
+	return t
+}
+
+// AvailabilityResult summarizes the degraded window of one scheme.
+type AvailabilityResult struct {
+	Scheme string
+	// DegradedFraction is the share of a stripe's lifetime with ≥1 block
+	// missing (reads of those blocks stall on reconstruction).
+	DegradedFraction float64
+	// Nines is the availability expressed as −log10(DegradedFraction).
+	Nines float64
+}
+
+// Availability computes the degraded-time fraction for a scheme under
+// the model parameters.
+func Availability(s core.Scheme, p Params) (AvailabilityResult, error) {
+	ch, err := BuildChain(s, p)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	t := ch.SojournTimes()
+	var total, degraded float64
+	for i, ti := range t {
+		total += ti
+		if i > 0 {
+			degraded += ti
+		}
+	}
+	if total <= 0 {
+		return AvailabilityResult{}, fmt.Errorf("markov: degenerate chain")
+	}
+	frac := degraded / total
+	nines := 0.0
+	if frac > 0 {
+		nines = -math.Log10(frac)
+	}
+	return AvailabilityResult{Scheme: s.Name(), DegradedFraction: frac, Nines: nines}, nil
+}

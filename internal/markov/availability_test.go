@@ -1,0 +1,93 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Sojourn times must sum to the absorption time (they partition it).
+func TestSojournTimesSumToAbsorption(t *testing.T) {
+	for _, s := range []core.Scheme{core.NewRS104(), core.NewXorbas()} {
+		ch, err := BuildChain(s, FacebookParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := ch.SojournTimes()
+		var sum float64
+		for _, v := range ts {
+			sum += v
+		}
+		abs := ch.AbsorptionTime()
+		if math.Abs(sum-abs)/abs > 1e-9 {
+			t.Fatalf("%s: sojourn sum %e != absorption %e", s.Name(), sum, abs)
+		}
+		// State 0 dominates: failures are rare relative to repairs.
+		if ts[0] < 0.99*abs {
+			t.Fatalf("%s: state-0 fraction %f suspiciously low", s.Name(), ts[0]/abs)
+		}
+		for i, v := range ts {
+			if v <= 0 {
+				t.Fatalf("%s: sojourn[%d] = %e not positive", s.Name(), i, v)
+			}
+		}
+	}
+}
+
+// Analytic cross-check on a 2-state chain: T_0 = (1+ρ/λ1)/λ0, T_1 = 1/λ1
+// (each visit to 1 lasts 1/(λ1+ρ), expected visits (λ1+ρ)/λ1).
+func TestSojournTimesClosedForm(t *testing.T) {
+	lam0, lam1, rho := 2.0, 3.0, 5.0
+	ch := &Chain{Lambda: []float64{lam0, lam1}, Rho: []float64{0, rho}}
+	ts := ch.SojournTimes()
+	wantT1 := 1 / lam1
+	wantT0 := (1 + rho/lam1) / lam0
+	if math.Abs(ts[1]-wantT1) > 1e-12 || math.Abs(ts[0]-wantT0) > 1e-12 {
+		t.Fatalf("sojourns %v want [%f %f]", ts, wantT0, wantT1)
+	}
+}
+
+// §4: the LRC's faster repairs give it a smaller degraded-time fraction
+// than RS — higher availability.
+func TestAvailabilityOrdering(t *testing.T) {
+	p := FacebookParams()
+	rs, err := Availability(core.NewRS104(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xo, err := Availability(core.NewXorbas(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xo.DegradedFraction < rs.DegradedFraction) {
+		t.Fatalf("LRC degraded fraction %e not below RS %e", xo.DegradedFraction, rs.DegradedFraction)
+	}
+	if xo.Nines <= rs.Nines {
+		t.Fatalf("LRC nines %.2f not above RS %.2f", xo.Nines, rs.Nines)
+	}
+	// Both should be rare events: at least 4 nines of block availability.
+	if rs.Nines < 4 {
+		t.Fatalf("RS availability %.2f nines implausibly low", rs.Nines)
+	}
+	// Roughly the repair-time ratio (13/5 blocks): 2–3×.
+	ratio := rs.DegradedFraction / xo.DegradedFraction
+	if ratio < 1.5 || ratio > 6 {
+		t.Fatalf("degraded-fraction ratio %.2f outside [1.5,6]", ratio)
+	}
+}
+
+func TestAvailabilityReplication(t *testing.T) {
+	rep, _ := core.NewReplication(3)
+	r, err := Availability(rep, FacebookParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication repairs single blocks fastest of all, so its degraded
+	// window is the smallest (and, as §4 notes, reads are never actually
+	// blocked — another replica serves immediately).
+	xo, _ := Availability(core.NewXorbas(), FacebookParams())
+	if r.DegradedFraction >= xo.DegradedFraction {
+		t.Fatalf("replication degraded %e not below LRC %e", r.DegradedFraction, xo.DegradedFraction)
+	}
+}

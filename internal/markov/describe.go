@@ -1,0 +1,23 @@
+package markov
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders the chain in the style of Fig. 3: the transient
+// states with their forward (failure) and backward (repair) rates, plus
+// the absorbing data-loss state.
+func (c *Chain) Describe() string {
+	var b strings.Builder
+	m := c.States()
+	fmt.Fprintf(&b, "Markov chain: states 0..%d transient (blocks lost), state %d = data loss\n", m-1, m)
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "  %d -> %d  at λ%d = %.3e /s", i, i+1, i, c.Lambda[i])
+		if i > 0 {
+			fmt.Fprintf(&b, "   |   %d -> %d  at ρ%d = %.3e /s (repair)", i, i-1, i, c.Rho[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf"
+)
+
+var f8 = gf.MustNew(8)
+
+func randomMatrix(r *rand.Rand, f *gf.Field, rows, cols int) *Matrix {
+	m := New(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, gf.Elem(r.Intn(f.Size())))
+		}
+	}
+	return m
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := randomMatrix(r, f8, 5, 7)
+	if !Identity(f8, 5).Mul(m).Equal(m) {
+		t.Fatal("I·m != m")
+	}
+	if !m.Mul(Identity(f8, 7)).Equal(m) {
+		t.Fatal("m·I != m")
+	}
+}
+
+func TestVandermondeRSParityCheck(t *testing.T) {
+	h, err := RSParityCheck(f8, 10, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 4 || h.Cols() != 14 {
+		t.Fatalf("shape %dx%d", h.Rows(), h.Cols())
+	}
+	// Row 0 is all ones: α^0 for every column — the property the paper's
+	// interference alignment relies on (Appendix D).
+	for j := 0; j < 14; j++ {
+		if h.At(0, j) != 1 {
+			t.Fatalf("H[0,%d] = %d want 1", j, h.At(0, j))
+		}
+	}
+	// Entry (i,j) = α^{i·j}.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 14; j++ {
+			if h.At(i, j) != f8.Exp(i*j) {
+				t.Fatalf("H[%d,%d] wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestRSParityCheckErrors(t *testing.T) {
+	if _, err := RSParityCheck(f8, 0, 4); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RSParityCheck(f8, 5, 5); err == nil {
+		t.Error("n=k accepted")
+	}
+	f4 := gf.MustNew(4)
+	if _, err := RSParityCheck(f4, 10, 20); err == nil {
+		t.Error("n>field size accepted")
+	}
+}
+
+// Any square submatrix of a Vandermonde matrix with distinct points is
+// nonsingular — the MDS property the paper quotes from [31].
+func TestVandermondeSubmatricesFullRank(t *testing.T) {
+	h, _ := RSParityCheck(f8, 10, 14)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		idx := r.Perm(14)[:4]
+		if h.SelectCols(idx).Rank() != 4 {
+			t.Fatalf("singular 4x4 Vandermonde submatrix at cols %v", idx)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(12)
+		m := randomMatrix(r, f8, n, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			continue // singular draw; fine
+		}
+		if !m.Mul(inv).Equal(Identity(f8, n)) {
+			t.Fatalf("m·m⁻¹ != I (n=%d)", n)
+		}
+		if !inv.Mul(m).Equal(Identity(f8, n)) {
+			t.Fatalf("m⁻¹·m != I (n=%d)", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := New(f8, 2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("expected singular error")
+	}
+	if _, err := New(f8, 2, 3).Inverse(); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}
+
+func TestRank(t *testing.T) {
+	if got := Identity(f8, 6).Rank(); got != 6 {
+		t.Fatalf("identity rank %d", got)
+	}
+	z := New(f8, 3, 3)
+	if got := z.Rank(); got != 0 {
+		t.Fatalf("zero rank %d", got)
+	}
+	// rank-1 outer product
+	m := New(f8, 3, 4)
+	for j := 0; j < 4; j++ {
+		m.Set(0, j, gf.Elem(j+1))
+		m.Set(1, j, f8.Mul(2, gf.Elem(j+1)))
+		m.Set(2, j, f8.Mul(7, gf.Elem(j+1)))
+	}
+	if got := m.Rank(); got != 1 {
+		t.Fatalf("rank-1 matrix reported rank %d", got)
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	h, _ := RSParityCheck(f8, 10, 14)
+	ns := h.NullSpace()
+	if ns == nil || ns.Rows() != 10 || ns.Cols() != 14 {
+		t.Fatalf("null space shape wrong: %+v", ns)
+	}
+	// G·Hᵀ = 0
+	if !ns.Mul(h.Transpose()).IsZero() {
+		t.Fatal("null space vectors not orthogonal to H")
+	}
+	if ns.Rank() != 10 {
+		t.Fatalf("null space basis rank %d want 10", ns.Rank())
+	}
+	// Full-rank square matrix has trivial null space.
+	if Identity(f8, 4).NullSpace() != nil {
+		t.Fatal("identity should have trivial null space")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(10)
+		m := randomMatrix(r, f8, n, n)
+		if m.Rank() != n {
+			continue
+		}
+		x := make([]gf.Elem, n)
+		for i := range x {
+			x[i] = gf.Elem(r.Intn(256))
+		}
+		b := m.MulVec(x)
+		got, err := m.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("Solve mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := New(f8, 2, 2) // zero matrix
+	if _, err := m.Solve([]gf.Elem{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := m.Solve([]gf.Elem{1}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+	if _, err := New(f8, 2, 3).Solve([]gf.Elem{1, 2}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}
+
+func TestVecMulMatchesMulVecTranspose(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, f8, 3+r.Intn(5), 3+r.Intn(5))
+		v := make([]gf.Elem, m.Rows())
+		for i := range v {
+			v[i] = gf.Elem(r.Intn(256))
+		}
+		a := m.VecMul(v)
+		b := m.Transpose().MulVec(v)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, f8, 4, 5)
+		b := randomMatrix(r, f8, 5, 3)
+		c := randomMatrix(r, f8, 3, 6)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubAugmentSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := randomMatrix(r, f8, 4, 6)
+	left := m.Sub(0, 4, 0, 3)
+	right := m.Sub(0, 4, 3, 6)
+	if !left.Augment(right).Equal(m) {
+		t.Fatal("Sub+Augment did not round-trip")
+	}
+	sel := m.SelectCols([]int{5, 0, 2})
+	for i := 0; i < 4; i++ {
+		if sel.At(i, 0) != m.At(i, 5) || sel.At(i, 1) != m.At(i, 0) || sel.At(i, 2) != m.At(i, 2) {
+			t.Fatal("SelectCols wrong")
+		}
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	m := randomMatrix(r, f8, 3, 4)
+	c := m.Clone()
+	c.Set(0, 0, c.At(0, 0)+1)
+	if m.Equal(c) {
+		t.Fatal("Clone aliases data")
+	}
+	row := m.Row(1)
+	col := m.Col(2)
+	for j := range row {
+		if row[j] != m.At(1, j) {
+			t.Fatal("Row wrong")
+		}
+	}
+	for i := range col {
+		if col[i] != m.At(i, 2) {
+			t.Fatal("Col wrong")
+		}
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	if s := Identity(f8, 2).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,140 @@
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Plan describes a single-block repair read set for the RS code. RS has no
+// local structure, so every repair is a "heavy" decode; the deployed
+// HDFS-RS BlockFixer opens streams to all other blocks of the stripe
+// (13 for RS(10,4)), while a minimal implementation reads k (§3.1.2:
+// "which could be reduced to 10 with a more efficient implementation").
+type Plan struct {
+	Reads []int
+}
+
+// PlanRepair computes the read set to repair stored block lost. exists
+// marks blocks physically stored (false for zero-padding positions of
+// short stripes), avail marks readable blocks, and deployed selects the
+// all-streams read set versus the minimal rank-sufficient one.
+func (c *Code) PlanRepair(lost int, exists, avail []bool, deployed bool) (Plan, error) {
+	if len(exists) != c.n || len(avail) != c.n {
+		return Plan{}, fmt.Errorf("rs: masks must have %d entries", c.n)
+	}
+	if lost < 0 || lost >= c.n || !exists[lost] {
+		return Plan{}, fmt.Errorf("rs: block %d does not exist in this stripe", lost)
+	}
+	var pool []int
+	for i := 0; i < c.n; i++ {
+		if i != lost && exists[i] && avail[i] {
+			pool = append(pool, i)
+		}
+	}
+	var rows []int
+	for i := 0; i < c.k; i++ {
+		if exists[i] {
+			rows = append(rows, i)
+		}
+	}
+	chosen := c.independentOnRows(pool, rows)
+	if len(chosen) < len(rows) {
+		return Plan{}, fmt.Errorf("rs: block %d unrecoverable: rank %d < %d", lost, len(chosen), len(rows))
+	}
+	if deployed {
+		return Plan{Reads: pool}, nil
+	}
+	return Plan{Reads: chosen}, nil
+}
+
+// independentOnRows greedily selects columns from pool whose restriction
+// to the given generator rows is linearly independent, preferring data
+// columns.
+func (c *Code) independentOnRows(pool, rows []int) []int {
+	order := make([]int, 0, len(pool))
+	for _, i := range pool {
+		if i < c.k {
+			order = append(order, i)
+		}
+	}
+	for _, i := range pool {
+		if i >= c.k {
+			order = append(order, i)
+		}
+	}
+	nr := len(rows)
+	byLead := make([][]gf.Elem, nr)
+	var chosen []int
+	f := c.f
+	for _, col := range order {
+		if len(chosen) == nr {
+			break
+		}
+		v := make([]gf.Elem, nr)
+		for ri, r := range rows {
+			v[ri] = c.gen.At(r, col)
+		}
+		inserted := false
+		for r := 0; r < nr; r++ {
+			if v[r] == 0 {
+				continue
+			}
+			b := byLead[r]
+			if b == nil {
+				byLead[r] = v
+				inserted = true
+				break
+			}
+			coef := f.Div(v[r], b[r])
+			for j := r; j < nr; j++ {
+				if b[j] != 0 {
+					v[j] = f.Add(v[j], f.Mul(coef, b[j]))
+				}
+			}
+		}
+		if inserted {
+			chosen = append(chosen, col)
+		}
+	}
+	return chosen
+}
+
+// ExpectedRepairReads enumerates all erasure patterns of the given size on
+// a full stripe and returns the expected deployed read count for the next
+// single-block repair. Feeds the Markov model's repair rates.
+func (c *Code) ExpectedRepairReads(erasures int) float64 {
+	exists := make([]bool, c.n)
+	for i := range exists {
+		exists[i] = true
+	}
+	var tot, patterns float64
+	idx := make([]int, erasures)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == erasures {
+			avail := make([]bool, c.n)
+			for i := range avail {
+				avail[i] = true
+			}
+			for _, i := range idx {
+				avail[i] = false
+			}
+			plan, err := c.PlanRepair(idx[0], exists, avail, true)
+			if err == nil {
+				patterns++
+				tot += float64(len(plan.Reads))
+			}
+			return
+		}
+		for i := start; i < c.n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	if patterns == 0 {
+		return 0
+	}
+	return tot / patterns
+}

@@ -1,0 +1,98 @@
+// Package sim is a deterministic discrete-event simulation kernel with a
+// fluid (max-min fair) network model. It is the substrate under the
+// cluster and HDFS layers: the paper's EC2 and Facebook experiments
+// (Section 5) run on this kernel instead of real machines, preserving the
+// traffic-shape quantities the paper measures — bytes read, network
+// traffic, repair durations — because those depend on which blocks the
+// decoders read and how transfers share links, both of which are modelled
+// explicitly.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Engine is a discrete-event scheduler. Time is in seconds from zero.
+// Engines are single-goroutine; callbacks run synchronously inside Run.
+type Engine struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+}
+
+type event struct {
+	at  float64
+	seq int64 // FIFO tie-break for determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds (clamped to now for negative
+// delays).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	at := e.now + delay
+	if delay < 0 || math.IsNaN(delay) {
+		at = e.now
+	}
+	e.ScheduleAt(at, fn)
+}
+
+// ScheduleAt runs fn at absolute time at (clamped to now if in the past).
+func (e *Engine) ScheduleAt(at float64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue drains.
+func (e *Engine) Run() {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil processes events with timestamps ≤ t, then advances the clock
+// to t. Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for e.queue.Len() > 0 && e.queue[0].at <= t {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }

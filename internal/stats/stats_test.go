@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries(300)
+	ts.Add(0, 1)
+	ts.Add(299, 2)
+	ts.Add(300, 4)
+	ts.Add(1000, 8)
+	if ts.Len() != 4 {
+		t.Fatalf("len %d want 4", ts.Len())
+	}
+	if ts.At(0) != 3 || ts.At(1) != 4 || ts.At(2) != 0 || ts.At(3) != 8 {
+		t.Fatalf("buckets %v", ts.Buckets())
+	}
+	if ts.Total() != 15 {
+		t.Fatalf("total %f", ts.Total())
+	}
+	if ts.At(-1) != 0 || ts.At(99) != 0 {
+		t.Fatal("out-of-range At should be 0")
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(-5, 7)
+	if ts.At(0) != 7 {
+		t.Fatal("negative time should clamp to bucket 0")
+	}
+}
+
+func TestNewTimeSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := LeastSquares(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-3) > 1e-12 {
+		t.Fatalf("fit %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("R2 %f want 1", f.R2)
+	}
+}
+
+func TestLeastSquaresDegenerate(t *testing.T) {
+	if f := LeastSquares([]float64{1}, []float64{2}); f.Slope != 0 {
+		t.Fatal("single point should give zero fit")
+	}
+	// All x equal: vertical line, no fit.
+	if f := LeastSquares([]float64{2, 2, 2}, []float64{1, 2, 3}); f.Slope != 0 {
+		t.Fatal("vertical data should give zero fit")
+	}
+}
+
+func TestLeastSquaresMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LeastSquares([]float64{1}, []float64{1, 2})
+}
+
+// Property: fitting y = a·x + b recovers a and b for random a, b.
+func TestLeastSquaresProperty(t *testing.T) {
+	if err := quick.Check(func(a, b float64) bool {
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x := []float64{0, 1, 2, 3, 4, 5}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = a*x[i] + b
+		}
+		f := LeastSquares(x, y)
+		return math.Abs(f.Slope-a) < 1e-6*(1+math.Abs(a)) && math.Abs(f.Intercept-b) < 1e-6*(1+math.Abs(b))
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Min != 2 || s.Max != 6 || s.Mean != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	want := math.Sqrt((4 + 0 + 4) / 3.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %f want %f", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestGBFormatting(t *testing.T) {
+	if GB(2.5e9) != 2.5 {
+		t.Fatal("GB conversion wrong")
+	}
+	if FmtGB(1.23e9) != "1.23 GB" {
+		t.Fatalf("FmtGB %q", FmtGB(1.23e9))
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"repro/internal/hdfs"
+)
+
+// WordCount models the §5.2.4 artificial workload: one MapReduce job per
+// file, one map task per data block. A task reads its block (degraded
+// reads reconstruct missing blocks on the fly) and then burns CPU
+// proportional to the block size; Hadoop's FairScheduler — the tracker's
+// round-robin — shares slots across the concurrent jobs.
+type WordCount struct {
+	Name string
+	// ProcessBps is the map function's throughput over block bytes
+	// (WordCount on an m1.small is CPU-bound).
+	ProcessBps float64
+	// Job is populated by Submit.
+	Job *hdfs.Job
+	// Degraded counts tasks that hit the degraded-read path.
+	Degraded int
+}
+
+// SubmitWordCount builds and submits a WordCount job over the given
+// stripes. onDone (optional) fires with the job once all tasks finish.
+func SubmitWordCount(fs *hdfs.FS, name string, stripes []*hdfs.Stripe, processBps float64, onDone func(*WordCount)) *WordCount {
+	wc := &WordCount{Name: name, ProcessBps: processBps}
+	job := &hdfs.Job{Name: name}
+	for _, s := range stripes {
+		s := s
+		for pos := 0; pos < s.DataCount; pos++ {
+			pos := pos
+			pref := s.Node[pos] // data-local preference; may be dead
+			if !fs.Cl.Alive(pref) {
+				pref = -1
+			}
+			job.AddTask(&hdfs.Task{PreferredNode: pref, Run: func(node int, finish func()) {
+				fs.ReadBlock(s, pos, node, func(degraded bool) {
+					if degraded {
+						wc.Degraded++
+					}
+					cpu := fs.Cfg.BlockSizeBytes / processBps
+					fs.Cl.AddCPU(cpu, 1)
+					fs.Cl.Eng.Schedule(cpu, finish)
+				})
+			}})
+		}
+	}
+	job.OnFinish = func(*hdfs.Job) {
+		if onDone != nil {
+			onDone(wc)
+		}
+	}
+	wc.Job = job
+	fs.Tracker.Submit(job)
+	return wc
+}
+
+// Duration returns the job's completion time in seconds (0 if running).
+func (wc *WordCount) Duration() float64 {
+	if wc.Job == nil || !wc.Job.Done() {
+		return 0
+	}
+	return wc.Job.FinishedAt - wc.Job.SubmittedAt
+}

@@ -1,0 +1,113 @@
+// Package workload generates the inputs of the paper's evaluation: the
+// production failure trace of Fig. 1, the EC2 experiment file loads and
+// failure-event schedule (§5.2), the Facebook test-cluster file-size
+// distribution (§5.3), and the WordCount jobs of the repair-under-
+// workload experiment (§5.2.4, Fig. 7, Table 2).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TraceConfig parameterizes the Fig. 1 failure-trace generator. The paper
+// reports "typically 20 or more node failures per day" on a 3000-node
+// cluster, with weekly periodicity and occasional bursts near 100.
+type TraceConfig struct {
+	Days  int
+	Nodes int
+	// MeanFailuresPerDay is the weekday baseline (~21 in the trace).
+	MeanFailuresPerDay float64
+	// WeekendFactor scales weekend days (the trace dips on weekends).
+	WeekendFactor float64
+	// BurstProb is the per-day probability of a correlated failure burst
+	// (rack/switch events); BurstMean is its additional expected size.
+	BurstProb float64
+	BurstMean float64
+	Seed      int64
+}
+
+// DefaultTrace matches Fig. 1's one-month window on the 3000-node
+// production cluster.
+func DefaultTrace() TraceConfig {
+	return TraceConfig{
+		Days: 31, Nodes: 3000,
+		MeanFailuresPerDay: 21, WeekendFactor: 0.7,
+		BurstProb: 0.06, BurstMean: 70,
+		Seed: 1,
+	}
+}
+
+// FailureTrace returns failures per day. Daily counts are Poisson around
+// the (weekday-adjusted) mean plus occasional bursts, clamped to the
+// node count.
+func FailureTrace(cfg TraceConfig) ([]int, error) {
+	if cfg.Days <= 0 || cfg.Nodes <= 0 || cfg.MeanFailuresPerDay <= 0 {
+		return nil, fmt.Errorf("workload: invalid trace config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]int, cfg.Days)
+	for d := range out {
+		mean := cfg.MeanFailuresPerDay
+		if wd := d % 7; wd == 5 || wd == 6 {
+			mean *= cfg.WeekendFactor
+		}
+		n := poisson(rng, mean)
+		if cfg.BurstProb > 0 && rng.Float64() < cfg.BurstProb {
+			n += poisson(rng, cfg.BurstMean)
+		}
+		if n > cfg.Nodes {
+			n = cfg.Nodes
+		}
+		out[d] = n
+	}
+	return out, nil
+}
+
+// poisson draws a Poisson variate; Knuth's product method for small
+// means, a clamped normal approximation above.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 50 {
+		n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// EC2FailurePattern is the §5.2 failure-event schedule: four single-node
+// terminations, two triples, two pairs.
+var EC2FailurePattern = []int{1, 1, 1, 1, 3, 3, 2, 2}
+
+// EC2FileBlocks is the per-file data block count of the EC2 experiments:
+// 640 MB files at 64 MB blocks — one full 10-block stripe per file.
+const EC2FileBlocks = 10
+
+// FacebookFileBlocks draws per-file data block counts from the §5.3 test
+// cluster's distribution: roughly 94% of files have 3 blocks and the rest
+// 10, averaging 3.4 blocks per file.
+func FacebookFileBlocks(rng *rand.Rand, files int) []int {
+	out := make([]int, files)
+	for i := range out {
+		if rng.Float64() < 0.94 {
+			out[i] = 3
+		} else {
+			out[i] = 10
+		}
+	}
+	return out
+}
