@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lrc"
 	"repro/internal/markov"
+	"repro/internal/store"
 )
 
 // printOnce guards the one-time report printing inside benchmarks.
@@ -453,6 +454,87 @@ func BenchmarkAblationReliabilitySweep(b *testing.B) {
 		if _, err := markov.Table1(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- The real datapath (repro/internal/store) ---
+
+// storeCodecs are the two coded schemes on the byte-level store.
+var storeCodecs = []struct {
+	name  string
+	codec func() store.Codec
+}{
+	{"rs10_4", func() store.Codec { return store.NewRS104Codec() }},
+	{"xorbas10_6_5", func() store.Codec { return store.NewXorbasCodec() }},
+}
+
+// BenchmarkStorePut measures ingest throughput end to end: chunk, encode
+// (parallel above 1 MiB stripes), CRC-frame, place rack-aware, write.
+func BenchmarkStorePut(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	payload := make([]byte, 8<<20)
+	rng.Read(payload)
+	for _, sc := range storeCodecs {
+		b.Run(sc.name, func(b *testing.B) {
+			s, err := store.New(store.Config{Codec: sc.codec()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Put("bench", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRepair measures the full BlockFixer cycle for one lost
+// block — scrub walk, prioritized queue, reconstruct, rewrite — on real
+// bytes. bytes/op is the repair traffic (blocks read for reconstruction):
+// the LRC's light decoder reads half of what RS does, the Figs 4–6 claim
+// on the real datapath.
+func BenchmarkStoreRepair(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	payload := make([]byte, 10*(64<<10)) // one full stripe
+	rng.Read(payload)
+	for _, sc := range storeCodecs {
+		b.Run(sc.name, func(b *testing.B) {
+			s, err := store.New(store.Config{Codec: sc.codec()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Put("bench", payload); err != nil {
+				b.Fatal(err)
+			}
+			mb := s.Backend().(*store.MemBackend)
+			rm := store.NewRepairManager(s, 2)
+			rm.Start()
+			defer rm.Stop()
+			scr := store.NewScrubber(s, rm, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node, key, err := s.BlockLocation("bench", 0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := mb.Delete(node, key); err != nil {
+					b.Fatal(err)
+				}
+				scr.ScrubOnce()
+				rm.Drain()
+			}
+			b.StopTimer()
+			m := s.Metrics()
+			if m.RepairedBlocks != int64(b.N) {
+				b.Fatalf("repaired %d blocks over %d iterations", m.RepairedBlocks, b.N)
+			}
+			b.SetBytes(m.RepairBytesRead / int64(b.N))
+			b.ReportMetric(float64(m.RepairBlocksRead)/float64(b.N), "blocks-read/op")
+			b.ReportMetric(float64(m.RepairBytesRead)/float64(b.N), "repair-bytes/op")
+		})
 	}
 }
 

@@ -12,6 +12,11 @@
 //	xorbasctl verify  [-rs] -dir dir -name file
 //	xorbasctl repair  [-rs] -dir dir -name file
 //	xorbasctl decode  [-rs] -dir dir -name file -out file [-size n]
+//
+// The `store` subcommands (see store.go) drive the multi-node object
+// store in repro/internal/store instead of a single flat stripe:
+//
+//	xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]
 package main
 
 import (
@@ -38,6 +43,13 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "store" {
+		if err := storeMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "xorbasctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	useRS := fs.Bool("rs", false, "use RS(10,4) instead of LRC(10,6,5)")
 	in := fs.String("in", "", "input file (encode)")
@@ -68,6 +80,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl encode|verify|repair|decode [flags]")
+	fmt.Fprintln(os.Stderr, "       xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,314 @@
+package main
+
+// The `store` subcommands drive repro/internal/store: a persistent
+// multi-node object store living in one directory, with each simulated
+// DataNode as a subdirectory of <dir>/blocks and the manifests in
+// <dir>/store.json. Node deaths survive across invocations, so a
+// kill-node / get / scrub sequence shows degraded reads and the
+// BlockFixer's light repairs on real bytes.
+//
+//	xorbasctl store put        -dir DIR -in FILE [-name NAME] [-rs] [-nodes N] [-racks R] [-block BYTES]
+//	xorbasctl store get        -dir DIR -name NAME [-out FILE]
+//	xorbasctl store kill-node  -dir DIR -node N
+//	xorbasctl store revive-node -dir DIR -node N
+//	xorbasctl store corrupt    -dir DIR -name NAME [-stripe I] [-block-idx J] [-silent]
+//	xorbasctl store scrub      -dir DIR [-workers W]
+//	xorbasctl store stats      -dir DIR
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/store"
+)
+
+func storeUsage() {
+	fmt.Fprintln(os.Stderr, "usage: xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]")
+	os.Exit(2)
+}
+
+func storeMain(args []string) error {
+	if len(args) == 0 {
+		storeUsage()
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("store "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	in := fs.String("in", "", "input file (put)")
+	out := fs.String("out", "", "output file (get; default stdout summary only)")
+	name := fs.String("name", "", "object name (default: input file base name)")
+	useRS := fs.Bool("rs", false, "create the store with RS(10,4) instead of LRC(10,6,5) (put only, first use)")
+	nodes := fs.Int("nodes", 20, "simulated nodes (first put only)")
+	racks := fs.Int("racks", 8, "racks, rack = node mod racks (first put only)")
+	blockSize := fs.Int("block", 64<<10, "max data-block bytes (first put only)")
+	node := fs.Int("node", -1, "node id (kill-node / revive-node)")
+	stripeIdx := fs.Int("stripe", 0, "stripe index (corrupt)")
+	blockIdx := fs.Int("block-idx", 0, "stripe position (corrupt)")
+	silent := fs.Bool("silent", false, "corrupt with a valid checksum, so only the group syndrome catches it")
+	workers := fs.Int("workers", 2, "repair worker pool size (scrub)")
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *dir == "" {
+		return fmt.Errorf("store %s needs -dir", sub)
+	}
+	switch sub {
+	case "put":
+		return storePut(*dir, *in, *name, *useRS, *nodes, *racks, *blockSize)
+	case "get":
+		return storeGet(*dir, *name, *out)
+	case "kill-node":
+		return storeSetNode(*dir, *node, false)
+	case "revive-node":
+		return storeSetNode(*dir, *node, true)
+	case "corrupt":
+		return storeCorrupt(*dir, *name, *stripeIdx, *blockIdx, *silent)
+	case "scrub":
+		return storeScrub(*dir, *workers)
+	case "stats":
+		return storeStats(*dir)
+	default:
+		storeUsage()
+		return nil
+	}
+}
+
+func storeStatePath(dir string) string { return filepath.Join(dir, "store.json") }
+
+// codecByName maps a snapshot's codec string back to a constructor.
+func codecByName(n string) (store.Codec, error) {
+	switch n {
+	case "LRC(10,6,5)":
+		return store.NewXorbasCodec(), nil
+	case "RS(10,4)":
+		return store.NewRS104Codec(), nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q in store state", n)
+	}
+}
+
+// openStore loads an existing on-disk store, inferring the codec from the
+// saved state.
+func openStore(dir string) (*store.Store, error) {
+	blob, err := os.ReadFile(storeStatePath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
+	}
+	var peek struct {
+		Codec string `json:"codec"`
+	}
+	if err := json.Unmarshal(blob, &peek); err != nil {
+		return nil, err
+	}
+	codec, err := codecByName(peek.Codec)
+	if err != nil {
+		return nil, err
+	}
+	be, err := store.NewDirBackend(filepath.Join(dir, "blocks"))
+	if err != nil {
+		return nil, err
+	}
+	return store.Restore(store.Config{Codec: codec, Backend: be}, blob)
+}
+
+// saveStore writes the store's metadata back to disk.
+func saveStore(dir string, s *store.Store) error {
+	blob, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(storeStatePath(dir), blob, 0o644)
+}
+
+func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int) error {
+	if in == "" {
+		return fmt.Errorf("store put needs -in")
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = filepath.Base(in)
+	}
+	var s *store.Store
+	if _, err := os.Stat(storeStatePath(dir)); err == nil {
+		if s, err = openStore(dir); err != nil {
+			return err
+		}
+		if useRS && !strings.HasPrefix(s.Codec().Name(), "RS") {
+			fmt.Fprintf(os.Stderr, "note: store already exists with codec %s; -rs is only honored on first use\n", s.Codec().Name())
+		}
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		be, err := store.NewDirBackend(filepath.Join(dir, "blocks"))
+		if err != nil {
+			return err
+		}
+		var codec store.Codec = store.NewXorbasCodec()
+		if useRS {
+			codec = store.NewRS104Codec()
+		}
+		s, err = store.New(store.Config{Codec: codec, Backend: be, Nodes: nodes, Racks: racks, BlockSize: blockSize})
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.Put(name, data); err != nil {
+		return err
+	}
+	if err := saveStore(dir, s); err != nil {
+		return err
+	}
+	m := s.Metrics()
+	fmt.Printf("put %s: %d bytes as %s over %d nodes / %d racks (%d blocks, %d bytes written)\n",
+		name, len(data), s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes)
+	return nil
+}
+
+func storeGet(dir, name, out string) error {
+	if name == "" {
+		return fmt.Errorf("store get needs -name")
+	}
+	s, err := openStore(dir)
+	if err != nil {
+		return err
+	}
+	data, info, err := s.Get(name)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	mode := "clean"
+	if info.Degraded {
+		mode = fmt.Sprintf("DEGRADED (%d light / %d heavy inline repairs)", info.LightRepairs, info.HeavyRepairs)
+	}
+	fmt.Printf("get %s: %d bytes, %s; read %d blocks / %d bytes\n",
+		name, len(data), mode, info.BlocksRead, info.BytesRead)
+	return nil
+}
+
+func storeSetNode(dir string, node int, up bool) error {
+	if node < 0 {
+		return fmt.Errorf("need -node")
+	}
+	s, err := openStore(dir)
+	if err != nil {
+		return err
+	}
+	if node >= s.Nodes() {
+		return fmt.Errorf("node %d out of range [0,%d)", node, s.Nodes())
+	}
+	if up {
+		s.ReviveNode(node)
+		fmt.Printf("node %d revived\n", node)
+	} else {
+		s.KillNode(node)
+		fmt.Printf("node %d killed: its blocks are unreadable until scrub repairs them elsewhere\n", node)
+	}
+	return saveStore(dir, s)
+}
+
+func storeCorrupt(dir, name string, stripe, pos int, silent bool) error {
+	if name == "" {
+		return fmt.Errorf("store corrupt needs -name")
+	}
+	s, err := openStore(dir)
+	if err != nil {
+		return err
+	}
+	node, key, err := s.BlockLocation(name, stripe, pos)
+	if err != nil {
+		return err
+	}
+	be := s.Backend().(*store.DirBackend)
+	p := be.Path(node, key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return err
+	}
+	if silent {
+		// Garbage payload under a valid checksum: invisible to the CRC,
+		// caught only by the codec's group-syndrome scan.
+		payload := make([]byte, len(raw)-4)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		if err := be.Write(node, key, store.FrameBlock(payload)); err != nil {
+			return err
+		}
+		fmt.Printf("silently corrupted %s stripe %d block %d (node %d): checksum still valid\n", name, stripe, pos, node)
+		return nil
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("corrupted %s stripe %d block %d (node %d): CRC will catch it\n", name, stripe, pos, node)
+	return nil
+}
+
+func storeScrub(dir string, workers int) error {
+	s, err := openStore(dir)
+	if err != nil {
+		return err
+	}
+	rm := store.NewRepairManager(s, workers)
+	rm.Start()
+	sc := store.NewScrubber(s, rm, 0)
+	rep := sc.ScrubOnce()
+	rm.Drain()
+	rm.Stop()
+	m := s.Metrics()
+	fmt.Printf("scrub: %d stripes checked, %d missing + %d corrupt blocks found\n",
+		rep.Stripes, rep.Missing, rep.Corrupt)
+	fmt.Printf("repair: %d blocks rebuilt (%d light / %d heavy), %d blocks / %d bytes read\n",
+		m.RepairedBlocks, m.RepairsLight, m.RepairsHeavy, m.RepairBlocksRead, m.RepairBytesRead)
+	return saveStore(dir, s)
+}
+
+func storeStats(dir string) error {
+	s, err := openStore(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s: codec %s, %d nodes / %d racks\n", dir, s.Codec().Name(), s.Nodes(), s.Racks())
+	var dead []string
+	for n := 0; n < s.Nodes(); n++ {
+		if !s.Alive(n) {
+			dead = append(dead, fmt.Sprintf("%d", n))
+		}
+	}
+	if len(dead) > 0 {
+		fmt.Printf("dead nodes: %s\n", strings.Join(dead, ", "))
+	}
+	objs := s.Objects()
+	fmt.Printf("%d objects:\n", len(objs))
+	for _, o := range objs {
+		fmt.Printf("  %-24s %10d bytes  %d stripes\n", o.Name, o.Size, o.Stripes)
+	}
+	per := s.BlocksPerNode()
+	fmt.Printf("blocks per node:")
+	for n, c := range per {
+		if n%8 == 0 {
+			fmt.Printf("\n  ")
+		}
+		mark := " "
+		if !s.Alive(n) {
+			mark = "†"
+		}
+		fmt.Printf("n%02d%s=%-4d", n, mark, c)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Backend stores opaque block bytes for simulated nodes. Implementations
+// must be safe for concurrent use; the store never relies on a backend to
+// detect corruption (blocks are framed with a CRC above this layer).
+type Backend interface {
+	// Write stores a block, replacing any previous value.
+	Write(node int, key string, data []byte) error
+	// Read returns the block bytes, or ErrNotFound.
+	Read(node int, key string) ([]byte, error)
+	// Delete removes the block; deleting a missing block is not an error.
+	Delete(node int, key string) error
+}
+
+// ErrNotFound reports a block absent from a backend.
+var ErrNotFound = errors.New("store: block not found")
+
+// ErrCorrupt reports a block whose payload does not match its checksum.
+var ErrCorrupt = errors.New("store: block checksum mismatch")
+
+// castagnoli is the CRC32C table (the polynomial HDFS uses for block
+// checksums).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FrameBlock prepends the 4-byte little-endian CRC32C of the payload: the
+// on-disk block format. The payload is copied.
+func FrameBlock(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, crc32.Checksum(payload, castagnoli))
+	copy(out[4:], payload)
+	return out
+}
+
+// UnframeBlock validates and strips the CRC header, returning the payload
+// (aliasing the input) or ErrCorrupt.
+func UnframeBlock(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte block has no header", ErrCorrupt, len(b))
+	}
+	payload := b[4:]
+	if binary.LittleEndian.Uint32(b) != crc32.Checksum(payload, castagnoli) {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// MemBackend keeps blocks in memory: the default for tests, benchmarks and
+// the walkthrough examples.
+type MemBackend struct {
+	mu    sync.RWMutex
+	nodes map[int]map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{nodes: make(map[int]map[string][]byte)}
+}
+
+// Write implements Backend.
+func (m *MemBackend) Write(node int, key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blocks := m.nodes[node]
+	if blocks == nil {
+		blocks = make(map[string][]byte)
+		m.nodes[node] = blocks
+	}
+	blocks[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Read implements Backend.
+func (m *MemBackend) Read(node int, key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.nodes[node][key]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Delete implements Backend.
+func (m *MemBackend) Delete(node int, key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.nodes[node], key)
+	return nil
+}
+
+// Corrupt flips one payload byte of a stored block in place — a test and
+// walkthrough hook simulating silent disk corruption.
+func (m *MemBackend) Corrupt(node int, key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.nodes[node][key]
+	if !ok {
+		return fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
+	}
+	b[len(b)-1] ^= 0xFF
+	return nil
+}
+
+// BlockCount returns how many blocks a node holds.
+func (m *MemBackend) BlockCount(node int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.nodes[node])
+}
+
+// DirBackend stores each simulated node as a directory under root
+// (root/node03/<key>), so a killed "node" is a directory you can inspect,
+// corrupt or delete from the shell.
+type DirBackend struct {
+	root string
+}
+
+// NewDirBackend returns a backend rooted at dir, creating it if needed.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirBackend{root: dir}, nil
+}
+
+// Path returns the file a block lives at (whether or not it exists).
+func (d *DirBackend) Path(node int, key string) string {
+	return filepath.Join(d.root, fmt.Sprintf("node%03d", node), key)
+}
+
+// Write implements Backend.
+func (d *DirBackend) Write(node int, key string, data []byte) error {
+	p := d.Path(node, key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Read implements Backend.
+func (d *DirBackend) Read(node int, key string) ([]byte, error) {
+	b, err := os.ReadFile(d.Path(node, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
+	}
+	return b, err
+}
+
+// Delete implements Backend.
+func (d *DirBackend) Delete(node int, key string) error {
+	err := os.Remove(d.Path(node, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,126 @@
+package store
+
+import "sync/atomic"
+
+// readAcct collects the cost of one operation (a Get, a scrub pass or a
+// repair) before it is merged into the store-wide counters.
+type readAcct struct {
+	blocks   int64
+	bytes    int64
+	light    int64
+	heavy    int64
+	degraded bool
+}
+
+// ReadInfo reports what one Get actually cost — the per-read observables
+// behind the paper's repair-traffic plots (Figs 4–6): a degraded LRC read
+// fetches the r=5 light set where the RS baseline fetches k=10 blocks.
+type ReadInfo struct {
+	// BlocksRead / BytesRead count backend block fetches, including any
+	// extra blocks pulled in for reconstruction.
+	BlocksRead int64
+	BytesRead  int64
+	// LightRepairs / HeavyRepairs count blocks rebuilt inline by each
+	// decoder.
+	LightRepairs int64
+	HeavyRepairs int64
+	// Degraded is true when any block had to be reconstructed.
+	Degraded bool
+}
+
+func (a *readAcct) info() ReadInfo {
+	return ReadInfo{
+		BlocksRead:   a.blocks,
+		BytesRead:    a.bytes,
+		LightRepairs: a.light,
+		HeavyRepairs: a.heavy,
+		Degraded:     a.degraded,
+	}
+}
+
+// counters is the store-wide metric state (atomics: hot paths touch these
+// concurrently).
+type counters struct {
+	putBlocks, putBytes   atomic.Int64
+	readBlocks, readBytes atomic.Int64
+	degradedReads         atomic.Int64
+	lightRepairs          atomic.Int64
+	heavyRepairs          atomic.Int64
+
+	scrubbedStripes  atomic.Int64
+	scrubBlocksRead  atomic.Int64
+	scrubBytesRead   atomic.Int64
+	missingFound     atomic.Int64
+	corruptFound     atomic.Int64
+	repairBlocksRead atomic.Int64
+	repairBytesRead  atomic.Int64
+	repairedBlocks   atomic.Int64
+	repairsLight     atomic.Int64
+	repairsHeavy     atomic.Int64
+}
+
+func (c *counters) mergeRead(a *readAcct) {
+	c.readBlocks.Add(a.blocks)
+	c.readBytes.Add(a.bytes)
+	c.lightRepairs.Add(a.light)
+	c.heavyRepairs.Add(a.heavy)
+	if a.degraded {
+		c.degradedReads.Add(1)
+	}
+}
+
+func (c *counters) mergeScrub(a *readAcct) {
+	c.scrubBlocksRead.Add(a.blocks)
+	c.scrubBytesRead.Add(a.bytes)
+}
+
+func (c *counters) mergeRepair(a *readAcct) {
+	c.repairBlocksRead.Add(a.blocks)
+	c.repairBytesRead.Add(a.bytes)
+	c.repairsLight.Add(a.light)
+	c.repairsHeavy.Add(a.heavy)
+}
+
+// Metrics is a point-in-time copy of the store's counters.
+type Metrics struct {
+	// Put path.
+	PutBlocks, PutBytes int64
+	// Get path (degraded reads included).
+	ReadBlocks, ReadBytes      int64
+	DegradedReads              int64
+	LightRepairs, HeavyRepairs int64
+	// Scrub path: what the integrity walk read and found.
+	ScrubbedStripes                 int64
+	ScrubBlocksRead, ScrubBytesRead int64
+	MissingBlocksFound              int64
+	CorruptBlocksFound              int64
+	// Repair path: what the BlockFixer read and rewrote. The paper's
+	// locality win is RepairBytesRead(LRC) ≈ half RepairBytesRead(RS)
+	// for single-block losses.
+	RepairBlocksRead, RepairBytesRead int64
+	RepairedBlocks                    int64
+	RepairsLight, RepairsHeavy        int64
+}
+
+// Metrics returns a snapshot of the store's counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		PutBlocks:          s.m.putBlocks.Load(),
+		PutBytes:           s.m.putBytes.Load(),
+		ReadBlocks:         s.m.readBlocks.Load(),
+		ReadBytes:          s.m.readBytes.Load(),
+		DegradedReads:      s.m.degradedReads.Load(),
+		LightRepairs:       s.m.lightRepairs.Load(),
+		HeavyRepairs:       s.m.heavyRepairs.Load(),
+		ScrubbedStripes:    s.m.scrubbedStripes.Load(),
+		ScrubBlocksRead:    s.m.scrubBlocksRead.Load(),
+		ScrubBytesRead:     s.m.scrubBytesRead.Load(),
+		MissingBlocksFound: s.m.missingFound.Load(),
+		CorruptBlocksFound: s.m.corruptFound.Load(),
+		RepairBlocksRead:   s.m.repairBlocksRead.Load(),
+		RepairBytesRead:    s.m.repairBytesRead.Load(),
+		RepairedBlocks:     s.m.repairedBlocks.Load(),
+		RepairsLight:       s.m.repairsLight.Load(),
+		RepairsHeavy:       s.m.repairsHeavy.Load(),
+	}
+}

@@ -1,0 +1,140 @@
+package store
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// repairItem is one damaged stripe queued for the BlockFixer.
+type repairItem struct {
+	ref stripeRef
+	// damaged lists the stripe positions needing a rewrite (missing or
+	// corrupt at scrub time; the worker re-probes before repairing).
+	damaged []int
+	// erasures is the risk key: how many blocks the stripe is down. A
+	// Xorbas stripe at 4 erasures is one loss from data loss.
+	erasures int
+	// light is true when every damaged block had a light repair plan at
+	// enqueue time.
+	light bool
+	// silent marks damage found by syndrome scan rather than read/CRC
+	// failure: the blocks read back fine, so the worker must not mistake
+	// a successful probe for healing.
+	silent bool
+	seq    int64 // FIFO tiebreak
+}
+
+// repairQueue is the §3 BlockFixer policy as a priority queue: stripes
+// closer to data loss first; at equal risk, light repairs before heavy
+// (they finish faster and free the queue); then FIFO. Pop blocks until an
+// item arrives or the queue closes. Safe for concurrent use.
+type repairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  repairHeap
+	queued map[stripeRef]bool // dedupe: one pending item per stripe
+	// inFlight counts items popped but not yet Done — WaitIdle's other
+	// half.
+	inFlight int
+	closed   bool
+	seq      int64
+}
+
+func newRepairQueue() *repairQueue {
+	q := &repairQueue{queued: make(map[stripeRef]bool)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a damaged stripe unless it is already pending. Reports
+// whether the item was accepted.
+func (q *repairQueue) Push(it repairItem) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.queued[it.ref] {
+		return false
+	}
+	q.seq++
+	it.seq = q.seq
+	q.queued[it.ref] = true
+	heap.Push(&q.items, it)
+	// Broadcast, not Signal: the one woken waiter could be a WaitIdle
+	// caller rather than a Pop, stranding the item.
+	q.cond.Broadcast()
+	return true
+}
+
+// Pop blocks until an item is available or the queue closes (ok=false).
+func (q *repairQueue) Pop() (repairItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return repairItem{}, false
+	}
+	it := heap.Pop(&q.items).(repairItem)
+	delete(q.queued, it.ref)
+	q.inFlight++
+	return it, true
+}
+
+// Done marks a popped item fully processed.
+func (q *repairQueue) Done() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.inFlight--
+	q.cond.Broadcast()
+}
+
+// WaitIdle blocks until no items are pending or in flight.
+func (q *repairQueue) WaitIdle() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) > 0 || q.inFlight > 0 {
+		q.cond.Wait()
+	}
+}
+
+// Len returns the number of pending items.
+func (q *repairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes all blocked Pops; subsequent Pushes are dropped.
+func (q *repairQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// repairHeap orders items by (erasures desc, light first, seq asc).
+type repairHeap []repairItem
+
+func (h repairHeap) Len() int { return len(h) }
+
+func (h repairHeap) Less(i, j int) bool {
+	if h[i].erasures != h[j].erasures {
+		return h[i].erasures > h[j].erasures
+	}
+	if h[i].light != h[j].light {
+		return h[i].light
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h repairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *repairHeap) Push(x any) { *h = append(*h, x.(repairItem)) }
+
+func (h *repairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

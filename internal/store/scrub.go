@@ -1,0 +1,292 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// The background BlockFixer of §3 split into its two halves: a Scrubber
+// that "periodically checks for lost or corrupted blocks" and a
+// RepairManager whose goroutine pool drains the prioritized repair queue,
+// rebuilding blocks (light local decode first) and rewriting them to live
+// nodes.
+
+// RepairManager owns the repair queue and its worker pool.
+type RepairManager struct {
+	s       *Store
+	q       *repairQueue
+	workers int
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewRepairManager builds a manager with the given pool size (≤0 means 2
+// workers, mirroring the throttled production fixer).
+func NewRepairManager(s *Store, workers int) *RepairManager {
+	if workers <= 0 {
+		workers = 2
+	}
+	return &RepairManager{s: s, q: newRepairQueue(), workers: workers}
+}
+
+// Start launches the worker pool. Idempotent.
+func (r *RepairManager) Start() {
+	r.startOnce.Do(func() {
+		for w := 0; w < r.workers; w++ {
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				for {
+					it, ok := r.q.Pop()
+					if !ok {
+						return
+					}
+					r.repairOne(it)
+					r.q.Done()
+				}
+			}()
+		}
+	})
+}
+
+// Stop drains the queue and stops the workers. Idempotent; blocks until
+// in-flight repairs finish.
+func (r *RepairManager) Stop() {
+	r.stopOnce.Do(func() {
+		r.q.Close()
+		r.wg.Wait()
+	})
+}
+
+// Drain blocks until the queue is empty and every in-flight repair has
+// finished — the test and CLI barrier between "scrub found damage" and
+// "damage is gone".
+func (r *RepairManager) Drain() { r.q.WaitIdle() }
+
+// Pending returns the queued repair count.
+func (r *RepairManager) Pending() int { return r.q.Len() }
+
+// enqueue admits one damaged stripe (deduplicated by the queue).
+func (r *RepairManager) enqueue(it repairItem) bool { return r.q.Push(it) }
+
+// repairOne rebuilds a damaged stripe's blocks and rewrites them. The
+// stripe is re-probed first: the damage may have healed (node revived) or
+// grown since scrub time.
+func (r *RepairManager) repairOne(it repairItem) {
+	s := r.s
+	si, ok := s.stripeSnapshot(it.ref)
+	if !ok {
+		return // object deleted since scrub
+	}
+	n := s.cfg.Codec.NStored()
+	acct := &readAcct{}
+	avail := make([]bool, n)
+	for pos := 0; pos < n; pos++ {
+		avail[pos] = s.Alive(si.Nodes[pos])
+	}
+	stripe := make([][]byte, n)
+	var damaged []int
+	for _, pos := range it.damaged {
+		if !it.silent {
+			if p, err := s.readBlockPayload(&si, pos, acct); err == nil {
+				stripe[pos] = p // healed under us; reuse the bytes
+				continue
+			}
+		}
+		avail[pos] = false
+		damaged = append(damaged, pos)
+	}
+	if len(damaged) == 0 {
+		return
+	}
+	// On an unrecoverable stripe reconstructPositions still rebuilds what
+	// it can before failing; persist that partial progress — every block
+	// written back moves the stripe away from the data-loss edge. Scrub
+	// re-reports whatever is still missing.
+	_ = s.reconstructPositions(&si, stripe, damaged, avail, acct)
+	aliveNow := s.aliveSnapshot()
+	for _, pos := range damaged {
+		if stripe[pos] == nil {
+			continue // this one could not be rebuilt
+		}
+		node := si.Nodes[pos]
+		if node < 0 || node >= len(aliveNow) || !aliveNow[node] {
+			// Re-place on a live node, keeping the rack rule against the
+			// rest of the stripe. Slots on dead nodes don't constrain.
+			cur := append([]int(nil), si.Nodes...)
+			for q, nd := range cur {
+				if nd < 0 || nd >= len(aliveNow) || !aliveNow[nd] {
+					cur[q] = -1
+				}
+			}
+			repl := s.placer.pickReplacement(si.Seq, pos, cur, aliveNow)
+			if repl < 0 {
+				continue // no live node; nothing to write to
+			}
+			old := node
+			node = repl
+			si.Nodes[pos] = repl
+			if old != node {
+				// Invalidate the stale replica so a revived node cannot
+				// resurface it (HDFS re-registration would do the same).
+				_ = s.cfg.Backend.Delete(old, si.Keys[pos])
+			}
+		}
+		if err := s.cfg.Backend.Write(node, si.Keys[pos], FrameBlock(stripe[pos])); err != nil {
+			continue
+		}
+		if s.relocateBlock(it.ref, pos, node, si.Keys[pos]) {
+			s.m.repairedBlocks.Add(1)
+		} else {
+			// The object was deleted or overwritten while we repaired:
+			// remove the block we just wrote or it leaks as an orphan.
+			_ = s.cfg.Backend.Delete(node, si.Keys[pos])
+		}
+	}
+	s.m.mergeRepair(acct)
+}
+
+// ScrubReport summarizes one full scrub pass.
+type ScrubReport struct {
+	// Stripes is how many stripes were checked.
+	Stripes int
+	// Missing and Corrupt count damaged blocks found.
+	Missing, Corrupt int
+	// Enqueued is how many stripes were handed to the repair queue.
+	Enqueued int
+}
+
+// Scrubber walks every stripe, verifying presence, per-block CRCs and the
+// codec's group syndromes, and enqueues damage for repair.
+type Scrubber struct {
+	s  *Store
+	rm *RepairManager
+	// Interval is the background walk period.
+	interval time.Duration
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewScrubber builds a scrubber feeding the manager's queue.
+func NewScrubber(s *Store, rm *RepairManager, interval time.Duration) *Scrubber {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Scrubber{s: s, rm: rm, interval: interval, stop: make(chan struct{})}
+}
+
+// Start launches the periodic background walk. Idempotent.
+func (sc *Scrubber) Start() {
+	sc.startOnce.Do(func() {
+		sc.wg.Add(1)
+		go func() {
+			defer sc.wg.Done()
+			t := time.NewTicker(sc.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-sc.stop:
+					return
+				case <-t.C:
+					sc.ScrubOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the background walk. Idempotent.
+func (sc *Scrubber) Stop() {
+	sc.stopOnce.Do(func() {
+		close(sc.stop)
+		sc.wg.Wait()
+	})
+}
+
+// ScrubOnce walks every stripe synchronously and returns what it found.
+func (sc *Scrubber) ScrubOnce() ScrubReport {
+	var rep ScrubReport
+	for _, ref := range sc.s.stripeRefs() {
+		miss, corr, enq := sc.scrubStripe(ref)
+		rep.Stripes++
+		rep.Missing += miss
+		rep.Corrupt += corr
+		if enq {
+			rep.Enqueued++
+		}
+	}
+	return rep
+}
+
+// scrubStripe checks one stripe: every block is read and CRC-verified;
+// full stripes additionally pass through the codec's syndrome scan
+// (GroupSyndrome via LocateCorruption), which catches corruption whose
+// checksum was rewritten to match. Damage is enqueued with its risk
+// priority.
+func (sc *Scrubber) scrubStripe(ref stripeRef) (missing, corrupt int, enqueued bool) {
+	s := sc.s
+	si, ok := s.stripeSnapshot(ref)
+	if !ok {
+		return 0, 0, false
+	}
+	n := s.cfg.Codec.NStored()
+	acct := &readAcct{}
+	stripe := make([][]byte, n)
+	avail := make([]bool, n)
+	var damaged []int
+	silent := false
+	for pos := 0; pos < n; pos++ {
+		p, err := s.readBlockPayload(&si, pos, acct)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				corrupt++
+			} else {
+				missing++
+			}
+			damaged = append(damaged, pos)
+			continue
+		}
+		stripe[pos] = p
+		avail[pos] = true
+	}
+	if len(damaged) == 0 {
+		// Full stripe: group syndromes localize any block whose payload
+		// and CRC were both silently rewritten.
+		if bad, err := s.cfg.Codec.LocateCorruption(stripe); err == nil && len(bad) > 0 {
+			for _, pos := range bad {
+				avail[pos] = false
+			}
+			damaged = bad
+			corrupt += len(bad)
+			silent = true
+		}
+	}
+	s.m.scrubbedStripes.Add(1)
+	s.m.mergeScrub(acct)
+	if len(damaged) == 0 {
+		return 0, 0, false
+	}
+	s.m.missingFound.Add(int64(missing))
+	s.m.corruptFound.Add(int64(corrupt))
+	light := true
+	for _, pos := range damaged {
+		if _, l, err := s.cfg.Codec.PlanReads(pos, avail); err != nil || !l {
+			light = false
+			break
+		}
+	}
+	enqueued = sc.rm.enqueue(repairItem{
+		ref:      ref,
+		damaged:  damaged,
+		erasures: len(damaged),
+		light:    light,
+		silent:   silent,
+	})
+	return missing, corrupt, enqueued
+}

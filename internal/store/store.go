@@ -1,0 +1,648 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrObjectNotFound reports a Get/Delete of an unknown object.
+var ErrObjectNotFound = errors.New("store: object not found")
+
+// Config sizes a Store. Zero fields take defaults.
+type Config struct {
+	// Codec is the stripe code; default NewXorbasCodec() (LRC(10,6,5)).
+	Codec Codec
+	// Backend holds the block bytes; default NewMemBackend().
+	Backend Backend
+	// Nodes is the number of simulated DataNodes (default 20).
+	Nodes int
+	// Racks spreads nodes round-robin, rack = node mod Racks (default 8 —
+	// enough racks for the strict one-block-per-rack-per-group rule of the
+	// Xorbas 6-member groups).
+	Racks int
+	// BlockSize is the maximum data-block payload per stripe position in
+	// bytes (default 64 KiB; 256 MB in the paper's clusters).
+	BlockSize int
+	// EncodeWorkers controls parity parallelism: 0 = GOMAXPROCS for
+	// stripes at least ParallelThreshold bytes, <0 = always serial.
+	EncodeWorkers int
+	// ParallelThreshold is the stripe payload size at which encoding goes
+	// parallel (default 1 MiB).
+	ParallelThreshold int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Codec == nil {
+		c.Codec = NewXorbasCodec()
+	}
+	if c.Backend == nil {
+		c.Backend = NewMemBackend()
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 20
+	}
+	if c.Racks == 0 {
+		c.Racks = 8
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64 << 10
+	}
+	if c.ParallelThreshold == 0 {
+		c.ParallelThreshold = 1 << 20
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("store: need at least 1 node, got %d", c.Nodes)
+	}
+	if c.Racks < 1 {
+		return fmt.Errorf("store: need at least 1 rack, got %d", c.Racks)
+	}
+	if c.BlockSize < 1 {
+		return fmt.Errorf("store: block size must be positive, got %d", c.BlockSize)
+	}
+	return nil
+}
+
+// stripeInfo is the manifest entry for one stripe of an object.
+type stripeInfo struct {
+	// Seq is the placement rotation the stripe was placed with.
+	Seq int `json:"seq"`
+	// DataLen is the real payload length of the stripe before zero
+	// padding to K·BlockLen.
+	DataLen int `json:"data_len"`
+	// BlockLen is the per-block payload length.
+	BlockLen int `json:"block_len"`
+	// Nodes[pos] is the node holding stripe position pos.
+	Nodes []int `json:"nodes"`
+	// Keys[pos] is the backend key of stripe position pos.
+	Keys []string `json:"keys"`
+}
+
+// objectInfo is an object's manifest.
+type objectInfo struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+	// Gen is the Put generation that wrote this version: repairs racing
+	// an overwrite use it to tell the versions apart (a stale repair must
+	// never splice an old block key into the new manifest).
+	Gen     int64        `json:"gen"`
+	Stripes []stripeInfo `json:"stripes"`
+}
+
+// Store is a concurrent erasure-coded object store. All methods are safe
+// for concurrent use.
+type Store struct {
+	cfg    Config
+	placer *placer
+
+	mu      sync.RWMutex
+	objects map[string]*objectInfo
+	alive   []bool
+
+	gen atomic.Int64 // Put generation, keeps block keys unique
+	seq atomic.Int64 // stripe placement rotation
+
+	m counters
+}
+
+// New builds a Store.
+func New(cfg Config) (*Store, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:     cfg,
+		placer:  newPlacer(cfg.Codec, cfg.Nodes, cfg.Racks),
+		objects: make(map[string]*objectInfo),
+		alive:   make([]bool, cfg.Nodes),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	return s, nil
+}
+
+// Codec returns the store's codec.
+func (s *Store) Codec() Codec { return s.cfg.Codec }
+
+// Backend returns the store's backend.
+func (s *Store) Backend() Backend { return s.cfg.Backend }
+
+// Nodes returns the node count.
+func (s *Store) Nodes() int { return s.cfg.Nodes }
+
+// Racks returns the rack count.
+func (s *Store) Racks() int { return s.cfg.Racks }
+
+// Alive reports whether a node is up.
+func (s *Store) Alive(n int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return n >= 0 && n < len(s.alive) && s.alive[n]
+}
+
+// KillNode takes a node down: its blocks become unreadable until revival
+// or repair (the paper's DataNode terminations, §5.2). Idempotent.
+func (s *Store) KillNode(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n >= 0 && n < len(s.alive) {
+		s.alive[n] = false
+	}
+}
+
+// ReviveNode brings a node back (§1.1's transient failures). Idempotent.
+func (s *Store) ReviveNode(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n >= 0 && n < len(s.alive) {
+		s.alive[n] = true
+	}
+}
+
+// aliveSnapshot copies the liveness vector.
+func (s *Store) aliveSnapshot() []bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]bool(nil), s.alive...)
+}
+
+// blockKey builds a unique, filesystem-safe backend key.
+func blockKey(name string, gen int64, stripe, pos int) string {
+	safe := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return fmt.Sprintf("%s.g%06d.s%05d.b%02d", safe, gen, stripe, pos)
+}
+
+// encodeWorkers picks the parity parallelism for a stripe payload size.
+func (s *Store) encodeWorkers(stripeBytes int) int {
+	switch {
+	case s.cfg.EncodeWorkers < 0:
+		return 1
+	case s.cfg.EncodeWorkers > 0:
+		return s.cfg.EncodeWorkers
+	case stripeBytes >= s.cfg.ParallelThreshold:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// Put stores an object under name, replacing any previous version. The
+// object is chunked into K·BlockSize stripes, encoded (in parallel for
+// large stripes), CRC-framed and placed rack-aware on live nodes.
+func (s *Store) Put(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("store: empty object name")
+	}
+	k := s.cfg.Codec.K()
+	stripeCap := k * s.cfg.BlockSize
+	gen := s.gen.Add(1)
+	obj := &objectInfo{Name: name, Size: len(data), Gen: gen}
+	// On any mid-Put failure, blocks already written would be orphaned
+	// (no manifest ever references them), so roll them back.
+	fail := func(err error) error {
+		s.deleteBlocks(obj)
+		return err
+	}
+	for off := 0; off < len(data); off += stripeCap {
+		chunk := data[off:min(off+stripeCap, len(data))]
+		blockLen := (len(chunk) + k - 1) / k
+		shards := make([][]byte, k)
+		for i := range shards {
+			shards[i] = make([]byte, blockLen)
+			if lo := i * blockLen; lo < len(chunk) {
+				copy(shards[i], chunk[lo:])
+			}
+		}
+		stripe, err := s.cfg.Codec.Encode(shards, s.encodeWorkers(len(chunk)))
+		if err != nil {
+			return fail(err)
+		}
+		seq := int(s.seq.Add(1))
+		nodes := s.placer.place(seq, s.aliveSnapshot())
+		idx := len(obj.Stripes)
+		si := stripeInfo{
+			Seq:      seq,
+			DataLen:  len(chunk),
+			BlockLen: blockLen,
+			Nodes:    nodes,
+			Keys:     make([]string, len(stripe)),
+		}
+		for pos := range stripe {
+			si.Keys[pos] = blockKey(name, gen, idx, pos)
+		}
+		// Manifest entry first, writes second: a failed write then rolls
+		// back this stripe's earlier blocks too (Delete of a never-written
+		// key is a no-op).
+		obj.Stripes = append(obj.Stripes, si)
+		for pos, payload := range stripe {
+			if nodes[pos] < 0 {
+				return fail(fmt.Errorf("store: no live node for stripe %d block %d", idx, pos))
+			}
+			framed := FrameBlock(payload)
+			if err := s.cfg.Backend.Write(nodes[pos], si.Keys[pos], framed); err != nil {
+				return fail(fmt.Errorf("store: write stripe %d block %d: %w", idx, pos, err))
+			}
+			s.m.putBlocks.Add(1)
+			s.m.putBytes.Add(int64(len(framed)))
+		}
+	}
+	s.mu.Lock()
+	old := s.objects[name]
+	s.objects[name] = obj
+	s.mu.Unlock()
+	if old != nil {
+		s.deleteBlocks(old)
+	}
+	return nil
+}
+
+// readBlockPayload fetches and unframes one stripe position. Reads from
+// dead nodes fail without touching the backend; short, corrupt or missing
+// blocks fail after the read (and still count toward bytes read — the
+// scrubber pays for what it reads, good or bad).
+func (s *Store) readBlockPayload(si *stripeInfo, pos int, acct *readAcct) ([]byte, error) {
+	node := si.Nodes[pos]
+	if !s.Alive(node) {
+		return nil, fmt.Errorf("store: node %d is dead", node)
+	}
+	raw, err := s.cfg.Backend.Read(node, si.Keys[pos])
+	if err != nil {
+		return nil, err
+	}
+	acct.blocks++
+	acct.bytes += int64(len(raw))
+	payload, err := UnframeBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != si.BlockLen {
+		return nil, fmt.Errorf("%w: %d-byte payload, want %d", ErrCorrupt, len(payload), si.BlockLen)
+	}
+	return payload, nil
+}
+
+// reconstructPositions rebuilds every position in need, fetching extra
+// blocks per the codec's repair plan (light local set first, heavy
+// fallback). stripe holds payloads already in hand and is filled in
+// place; avail marks positions believed readable and is downgraded as
+// fetches fail, re-planning until the position is rebuilt or provably
+// unrecoverable.
+func (s *Store) reconstructPositions(si *stripeInfo, stripe [][]byte, need []int, avail []bool, acct *readAcct) error {
+	for _, pos := range need {
+		if stripe[pos] != nil {
+			continue
+		}
+	plan:
+		for {
+			reads, _, err := s.cfg.Codec.PlanReads(pos, avail)
+			if err != nil {
+				return fmt.Errorf("store: block %d unrecoverable: %w", pos, err)
+			}
+			for _, j := range reads {
+				if stripe[j] != nil {
+					continue
+				}
+				p, err := s.readBlockPayload(si, j, acct)
+				if err != nil {
+					avail[j] = false
+					continue plan
+				}
+				stripe[j] = p
+			}
+			payload, light, err := s.cfg.Codec.ReconstructBlock(stripe, pos)
+			if err != nil {
+				return err
+			}
+			stripe[pos] = payload
+			avail[pos] = true
+			if light {
+				acct.light++
+			} else {
+				acct.heavy++
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// Get reads an object back, reconstructing missing or corrupt blocks
+// inline (the degraded read path: rebuilt blocks are served, not written
+// back — §1.1). The ReadInfo reports what the read actually cost.
+func (s *Store) Get(name string) ([]byte, ReadInfo, error) {
+	// A read racing an overwrite can hold a manifest whose blocks the
+	// overwrite already deleted; when that happens the object generation
+	// has moved, so retry against the new version. The cap only guards
+	// against a pathological stream of overwrites.
+	for attempt := 0; ; attempt++ {
+		data, info, gen, err := s.getVersion(name)
+		if err == nil || attempt >= 8 {
+			return data, info, err
+		}
+		s.mu.RLock()
+		cur := s.objects[name]
+		s.mu.RUnlock()
+		if cur == nil {
+			// Deleted mid-read: not-found is the truthful outcome.
+			return nil, info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+		}
+		if cur.Gen == gen {
+			return data, info, err // same version: a genuine failure
+		}
+	}
+}
+
+// getVersion performs one Get attempt against the object version current
+// at entry, returning that version's generation.
+func (s *Store) getVersion(name string) ([]byte, ReadInfo, int64, error) {
+	// Copy the manifest under the lock: repair workers relocate blocks
+	// (mutating Nodes/Keys) concurrently with reads.
+	s.mu.RLock()
+	obj := s.objects[name]
+	var size int
+	var gen int64
+	var stripes []stripeInfo
+	if obj != nil {
+		size = obj.Size
+		gen = obj.Gen
+		stripes = make([]stripeInfo, len(obj.Stripes))
+		for i, si := range obj.Stripes {
+			si.Nodes = append([]int(nil), si.Nodes...)
+			si.Keys = append([]string(nil), si.Keys...)
+			stripes[i] = si
+		}
+	}
+	s.mu.RUnlock()
+	if obj == nil {
+		return nil, ReadInfo{}, 0, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	k := s.cfg.Codec.K()
+	n := s.cfg.Codec.NStored()
+	acct := &readAcct{}
+	out := make([]byte, 0, size)
+	for i := range stripes {
+		si := &stripes[i]
+		stripe := make([][]byte, n)
+		avail := make([]bool, n)
+		for pos := 0; pos < n; pos++ {
+			avail[pos] = s.Alive(si.Nodes[pos])
+		}
+		var missing []int
+		for pos := 0; pos < k; pos++ {
+			p, err := s.readBlockPayload(si, pos, acct)
+			if err != nil {
+				avail[pos] = false
+				missing = append(missing, pos)
+				continue
+			}
+			stripe[pos] = p
+		}
+		if len(missing) > 0 {
+			acct.degraded = true
+			if err := s.reconstructPositions(si, stripe, missing, avail, acct); err != nil {
+				s.m.mergeRead(acct)
+				return nil, acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, i, err)
+			}
+		}
+		chunk := make([]byte, 0, si.DataLen)
+		for pos := 0; pos < k && len(chunk) < si.DataLen; pos++ {
+			chunk = append(chunk, stripe[pos]...)
+		}
+		out = append(out, chunk[:si.DataLen]...)
+	}
+	s.m.mergeRead(acct)
+	return out, acct.info(), gen, nil
+}
+
+// Delete removes an object and its blocks.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	obj := s.objects[name]
+	delete(s.objects, name)
+	s.mu.Unlock()
+	if obj == nil {
+		return fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	s.deleteBlocks(obj)
+	return nil
+}
+
+// deleteBlocks best-effort removes an object's blocks, dead nodes
+// included (backends outlive simulated node failures).
+func (s *Store) deleteBlocks(obj *objectInfo) {
+	for i := range obj.Stripes {
+		si := &obj.Stripes[i]
+		for pos, node := range si.Nodes {
+			if node >= 0 {
+				_ = s.cfg.Backend.Delete(node, si.Keys[pos])
+			}
+		}
+	}
+}
+
+// ObjectStat summarizes one stored object.
+type ObjectStat struct {
+	Name    string
+	Size    int
+	Stripes int
+}
+
+// Objects lists stored objects.
+func (s *Store) Objects() []ObjectStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ObjectStat, 0, len(s.objects))
+	for _, o := range s.objects {
+		out = append(out, ObjectStat{Name: o.Name, Size: o.Size, Stripes: len(o.Stripes)})
+	}
+	return out
+}
+
+// BlocksPerNode counts manifest blocks per node — the placement balance
+// view.
+func (s *Store) BlocksPerNode() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, s.cfg.Nodes)
+	for _, o := range s.objects {
+		for i := range o.Stripes {
+			for _, n := range o.Stripes[i].Nodes {
+				if n >= 0 && n < len(out) {
+					out[n]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BlockLocation returns where one stripe position of an object lives —
+// the hook the corruption tooling uses.
+func (s *Store) BlockLocation(name string, stripe, pos int) (node int, key string, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj := s.objects[name]
+	if obj == nil {
+		return 0, "", fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	if stripe < 0 || stripe >= len(obj.Stripes) {
+		return 0, "", fmt.Errorf("store: %q has no stripe %d", name, stripe)
+	}
+	si := &obj.Stripes[stripe]
+	if pos < 0 || pos >= len(si.Nodes) {
+		return 0, "", fmt.Errorf("store: stripe has no block %d", pos)
+	}
+	return si.Nodes[pos], si.Keys[pos], nil
+}
+
+// stripeRef names one stripe for the scrubber's walk. The generation
+// pins the object *version*: a repair started against version g must
+// never touch the manifest of a later overwrite.
+type stripeRef struct {
+	name string
+	gen  int64
+	idx  int
+}
+
+// stripeRefs snapshots every stripe in the store.
+func (s *Store) stripeRefs() []stripeRef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []stripeRef
+	for name, o := range s.objects {
+		for i := range o.Stripes {
+			out = append(out, stripeRef{name: name, gen: o.Gen, idx: i})
+		}
+	}
+	return out
+}
+
+// lookupRef resolves a ref to the live object, nil if the object was
+// deleted or overwritten since the ref was taken. Callers must hold mu.
+func (s *Store) lookupRef(ref stripeRef) *objectInfo {
+	obj := s.objects[ref.name]
+	if obj == nil || obj.Gen != ref.gen || ref.idx >= len(obj.Stripes) {
+		return nil
+	}
+	return obj
+}
+
+// stripeSnapshot copies one stripe's manifest entry.
+func (s *Store) stripeSnapshot(ref stripeRef) (stripeInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj := s.lookupRef(ref)
+	if obj == nil {
+		return stripeInfo{}, false
+	}
+	si := obj.Stripes[ref.idx]
+	si.Nodes = append([]int(nil), si.Nodes...)
+	si.Keys = append([]string(nil), si.Keys...)
+	return si, true
+}
+
+// relocateBlock points one stripe position at a new node/key after a
+// repair rewrite. It reports false — leaving the manifest untouched — if
+// the object was deleted or overwritten under the repair (the generation
+// check: splicing an old version's block into a new manifest would serve
+// stale bytes).
+func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := s.lookupRef(ref)
+	if obj == nil {
+		return false
+	}
+	si := &obj.Stripes[ref.idx]
+	if pos < 0 || pos >= len(si.Nodes) {
+		return false
+	}
+	si.Nodes[pos] = node
+	si.Keys[pos] = key
+	return true
+}
+
+// --- snapshot / restore (the CLI's on-disk state) ---
+
+type snapshot struct {
+	Codec     string        `json:"codec"`
+	Nodes     int           `json:"nodes"`
+	Racks     int           `json:"racks"`
+	BlockSize int           `json:"block_size"`
+	Gen       int64         `json:"gen"`
+	Seq       int64         `json:"seq"`
+	Dead      []int         `json:"dead,omitempty"`
+	Objects   []*objectInfo `json:"objects"`
+}
+
+// Snapshot serializes the store's metadata (manifests, liveness,
+// geometry) as JSON. Block bytes live in the backend; metrics are not
+// persisted.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{
+		Codec:     s.cfg.Codec.Name(),
+		Nodes:     s.cfg.Nodes,
+		Racks:     s.cfg.Racks,
+		BlockSize: s.cfg.BlockSize,
+		Gen:       s.gen.Load(),
+		Seq:       s.seq.Load(),
+	}
+	for n, a := range s.alive {
+		if !a {
+			snap.Dead = append(snap.Dead, n)
+		}
+	}
+	for _, o := range s.objects {
+		snap.Objects = append(snap.Objects, o)
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// Restore rebuilds a store from Snapshot output. cfg supplies the codec
+// and backend (which must match the snapshot's codec by name); geometry
+// comes from the snapshot.
+func Restore(cfg Config, data []byte) (*Store, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: bad snapshot: %w", err)
+	}
+	cfg.fillDefaults()
+	if cfg.Codec.Name() != snap.Codec {
+		return nil, fmt.Errorf("store: snapshot was written with codec %s, store opened with %s", snap.Codec, cfg.Codec.Name())
+	}
+	cfg.Nodes, cfg.Racks, cfg.BlockSize = snap.Nodes, snap.Racks, snap.BlockSize
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.gen.Store(snap.Gen)
+	s.seq.Store(snap.Seq)
+	for _, n := range snap.Dead {
+		if n >= 0 && n < len(s.alive) {
+			s.alive[n] = false
+		}
+	}
+	for _, o := range snap.Objects {
+		s.objects[o.Name] = o
+	}
+	return s, nil
+}
