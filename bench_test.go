@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lrc"
 	"repro/internal/markov"
+	"repro/internal/pattern"
 	"repro/internal/store"
 )
 
@@ -487,6 +489,63 @@ func BenchmarkStorePut(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkStoreStreamPut measures streaming ingest throughput at 64 MiB
+// — chunk, encode, CRC-frame, place, write, one stripe at a time with
+// memory bounded by the 10 MiB stripe rather than the object.
+func BenchmarkStoreStreamPut(b *testing.B) {
+	const size = 64 << 20
+	for _, sc := range storeCodecs {
+		b.Run(sc.name, func(b *testing.B) {
+			s, err := store.New(store.Config{Codec: sc.codec(), BlockSize: 1 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.PutReader("bench", pattern.NewReader(size)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(size)*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+		})
+	}
+}
+
+// BenchmarkStoreStreamGet measures streaming read throughput at 64 MiB,
+// with the read amplification (backend bytes fetched per object byte
+// served) reported alongside.
+func BenchmarkStoreStreamGet(b *testing.B) {
+	const size = 64 << 20
+	for _, sc := range storeCodecs {
+		b.Run(sc.name, func(b *testing.B) {
+			s, err := store.New(store.Config{Codec: sc.codec(), BlockSize: 1 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.PutReader("bench", pattern.NewReader(size)); err != nil {
+				b.Fatal(err)
+			}
+			var blocksRead, bytesRead int64
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				info, err := s.GetWriter("bench", io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocksRead += info.BlocksRead
+				bytesRead += info.BytesRead
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(size)*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+			b.ReportMetric(float64(blocksRead)/float64(b.N), "blocks-read/op")
+			b.ReportMetric(float64(bytesRead)/float64(b.N), "bytes-read/op")
 		})
 	}
 }

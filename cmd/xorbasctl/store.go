@@ -7,8 +7,13 @@ package main
 // kill-node / get / scrub sequence shows degraded reads and the
 // BlockFixer's light repairs on real bytes.
 //
-//	xorbasctl store put        -dir DIR -in FILE [-name NAME] [-rs] [-nodes N] [-racks R] [-block BYTES]
-//	xorbasctl store get        -dir DIR -name NAME [-out FILE]
+//	xorbasctl store put        -dir DIR -in FILE [-stream] [-name NAME] [-rs] [-nodes N] [-racks R] [-block BYTES]
+//	xorbasctl store get        -dir DIR -name NAME [-out FILE] [-stream]
+//
+// With -stream, put pipes the input through the store one stripe at a
+// time (memory stays bounded no matter the object size; `-in -` reads
+// stdin) and get streams stripes straight to -out (`-out -` or no -out
+// writes stdout; the summary then goes to stderr).
 //	xorbasctl store kill-node  -dir DIR -node N
 //	xorbasctl store revive-node -dir DIR -node N
 //	xorbasctl store corrupt    -dir DIR -name NAME [-stripe I] [-block-idx J] [-silent]
@@ -19,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,6 +56,7 @@ func storeMain(args []string) error {
 	blockIdx := fs.Int("block-idx", 0, "stripe position (corrupt)")
 	silent := fs.Bool("silent", false, "corrupt with a valid checksum, so only the group syndrome catches it")
 	workers := fs.Int("workers", 2, "repair worker pool size (scrub)")
+	stream := fs.Bool("stream", false, "stream stripe-by-stripe with bounded memory (put/get; '-' = stdin/stdout)")
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -58,9 +65,9 @@ func storeMain(args []string) error {
 	}
 	switch sub {
 	case "put":
-		return storePut(*dir, *in, *name, *useRS, *nodes, *racks, *blockSize)
+		return storePut(*dir, *in, *name, *useRS, *nodes, *racks, *blockSize, *stream)
 	case "get":
-		return storeGet(*dir, *name, *out)
+		return storeGet(*dir, *name, *out, *stream)
 	case "kill-node":
 		return storeSetNode(*dir, *node, false)
 	case "revive-node":
@@ -124,15 +131,14 @@ func saveStore(dir string, s *store.Store) error {
 	return os.WriteFile(storeStatePath(dir), blob, 0o644)
 }
 
-func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int) error {
+func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, stream bool) error {
 	if in == "" {
 		return fmt.Errorf("store put needs -in")
 	}
-	data, err := os.ReadFile(in)
-	if err != nil {
-		return err
-	}
 	if name == "" {
+		if in == "-" {
+			return fmt.Errorf("store put -stream from stdin needs -name")
+		}
 		name = filepath.Base(in)
 	}
 	var s *store.Store
@@ -160,19 +166,45 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int) err
 			return err
 		}
 	}
-	if err := s.Put(name, data); err != nil {
-		return err
+	var size int64
+	if stream {
+		var r io.Reader = os.Stdin
+		if in != "-" {
+			f, err := os.Open(in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		if err := s.PutReader(name, r); err != nil {
+			return err
+		}
+		for _, o := range s.Objects() {
+			if o.Name == name {
+				size = int64(o.Size)
+			}
+		}
+	} else {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		if err := s.Put(name, data); err != nil {
+			return err
+		}
+		size = int64(len(data))
 	}
 	if err := saveStore(dir, s); err != nil {
 		return err
 	}
 	m := s.Metrics()
 	fmt.Printf("put %s: %d bytes as %s over %d nodes / %d racks (%d blocks, %d bytes written)\n",
-		name, len(data), s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes)
+		name, size, s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes)
 	return nil
 }
 
-func storeGet(dir, name, out string) error {
+func storeGet(dir, name, out string, stream bool) error {
 	if name == "" {
 		return fmt.Errorf("store get needs -name")
 	}
@@ -180,21 +212,57 @@ func storeGet(dir, name, out string) error {
 	if err != nil {
 		return err
 	}
-	data, info, err := s.Get(name)
-	if err != nil {
-		return err
-	}
-	if out != "" {
-		if err := os.WriteFile(out, data, 0o644); err != nil {
+	var info store.ReadInfo
+	var size int64
+	report := os.Stdout
+	if stream {
+		if out != "" && out != "-" {
+			// Stream into a temp file and rename on success, so a failed
+			// read never leaves a truncated object at -out (the same
+			// crash-safety DirBackend gives block writes).
+			tmp := out + ".partial"
+			f, err := os.Create(tmp)
+			if err != nil {
+				return err
+			}
+			info, err = s.GetWriter(name, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				os.Remove(tmp)
+				return err
+			}
+			if err := os.Rename(tmp, out); err != nil {
+				os.Remove(tmp)
+				return err
+			}
+		} else {
+			// Object bytes own stdout; the summary moves to stderr.
+			report = os.Stderr
+			if info, err = s.GetWriter(name, os.Stdout); err != nil {
+				return err
+			}
+		}
+		size = info.BytesWritten
+	} else {
+		data, dinfo, err := s.Get(name)
+		if err != nil {
 			return err
 		}
+		if out != "" {
+			if err := os.WriteFile(out, data, 0o644); err != nil {
+				return err
+			}
+		}
+		info, size = dinfo, int64(len(data))
 	}
 	mode := "clean"
 	if info.Degraded {
 		mode = fmt.Sprintf("DEGRADED (%d light / %d heavy inline repairs)", info.LightRepairs, info.HeavyRepairs)
 	}
-	fmt.Printf("get %s: %d bytes, %s; read %d blocks / %d bytes\n",
-		name, len(data), mode, info.BlocksRead, info.BytesRead)
+	fmt.Fprintf(report, "get %s: %d bytes, %s; read %d blocks / %d bytes\n",
+		name, size, mode, info.BlocksRead, info.BytesRead)
 	return nil
 }
 

@@ -14,7 +14,10 @@ import (
 // must be safe for concurrent use; the store never relies on a backend to
 // detect corruption (blocks are framed with a CRC above this layer).
 type Backend interface {
-	// Write stores a block, replacing any previous value.
+	// Write stores a block, replacing any previous value. The streaming
+	// put path reuses data's backing array after Write returns, so
+	// implementations must copy or persist the bytes, never retain the
+	// slice.
 	Write(node int, key string, data []byte) error
 	// Read returns the block bytes, or ErrNotFound.
 	Read(node int, key string) ([]byte, error)
@@ -125,10 +128,22 @@ type DirBackend struct {
 	root string
 }
 
-// NewDirBackend returns a backend rooted at dir, creating it if needed.
+// tmpPrefix marks in-flight block writes. Block keys are sanitized to
+// [A-Za-z0-9._-] (see blockKey), so a real block file can never start
+// with '#' and the prefix is unambiguous to sweep.
+const tmpPrefix = "#tmp-"
+
+// NewDirBackend returns a backend rooted at dir, creating it if needed
+// and sweeping temp files left by writers that crashed mid-Write. A
+// store directory is owned by one process at a time (the CLI model), so
+// any temp file present at open belongs to a dead writer.
 func NewDirBackend(dir string) (*DirBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, "node*", tmpPrefix+"*"))
+	for _, p := range stale {
+		_ = os.Remove(p)
 	}
 	return &DirBackend{root: dir}, nil
 }
@@ -138,17 +153,46 @@ func (d *DirBackend) Path(node int, key string) string {
 	return filepath.Join(d.root, fmt.Sprintf("node%03d", node), key)
 }
 
-// Write implements Backend.
+// Write implements Backend crash-safely: the bytes go to a uniquely
+// named temp file in the block's own directory (same filesystem, so the
+// rename is atomic), are fsynced, and only then renamed into place. A
+// crash or kill mid-write leaves a stray temp file (swept at the next
+// NewDirBackend), never a torn frame at the real key — the scrubber then
+// sees a cleanly missing block to repair instead of silent corruption.
+// The unique temp name also keeps concurrent writers of one key from
+// interleaving into each other's file.
 func (d *DirBackend) Write(node int, key string, data []byte) error {
 	p := d.Path(node, key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(p), tmpPrefix+filepath.Base(p)+"-")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Read implements Backend.

@@ -51,6 +51,29 @@ type Codec interface {
 	LocateCorruption(stripe [][]byte) ([]int, error)
 }
 
+// stripeShards slices one stripe payload into k blocks of blockLen bytes
+// for Encode. A payload filling k·blockLen exactly is aliased in place —
+// the streaming fast path, where the caller's stripe buffer is reused
+// and no per-stripe copy is made (codecs do not retain the data slices
+// past Encode, and backends must not retain Write's bytes). A short
+// final stripe is copied into fresh zero-padded shards.
+func stripeShards(chunk []byte, k, blockLen int) [][]byte {
+	shards := make([][]byte, k)
+	if len(chunk) == k*blockLen {
+		for i := range shards {
+			shards[i] = chunk[i*blockLen : (i+1)*blockLen]
+		}
+		return shards
+	}
+	for i := range shards {
+		shards[i] = make([]byte, blockLen)
+		if lo := i * blockLen; lo < len(chunk) {
+			copy(shards[i], chunk[lo:])
+		}
+	}
+	return shards
+}
+
 // LRCCodec adapts *lrc.Code to the store. The zero value is unusable; use
 // NewLRCCodec or NewXorbasCodec.
 type LRCCodec struct {

@@ -26,6 +26,10 @@ type ReadInfo struct {
 	HeavyRepairs int64
 	// Degraded is true when any block had to be reconstructed.
 	Degraded bool
+	// BytesWritten is how many object bytes reached the caller's writer
+	// (the full object size on a successful Get/GetWriter; possibly fewer
+	// on a mid-stream failure).
+	BytesWritten int64
 }
 
 func (a *readAcct) info() ReadInfo {

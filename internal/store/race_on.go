@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 256 MiB bounded-memory test skips under it (instrumentation multiplies
+// both time and heap, drowning the bound being measured).
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -205,72 +206,10 @@ func (s *Store) encodeWorkers(stripeBytes int) int {
 
 // Put stores an object under name, replacing any previous version. The
 // object is chunked into K·BlockSize stripes, encoded (in parallel for
-// large stripes), CRC-framed and placed rack-aware on live nodes.
+// large stripes), CRC-framed and placed rack-aware on live nodes. It is
+// a thin wrapper over the streaming path (PutReader).
 func (s *Store) Put(name string, data []byte) error {
-	if name == "" {
-		return fmt.Errorf("store: empty object name")
-	}
-	k := s.cfg.Codec.K()
-	stripeCap := k * s.cfg.BlockSize
-	gen := s.gen.Add(1)
-	obj := &objectInfo{Name: name, Size: len(data), Gen: gen}
-	// On any mid-Put failure, blocks already written would be orphaned
-	// (no manifest ever references them), so roll them back.
-	fail := func(err error) error {
-		s.deleteBlocks(obj)
-		return err
-	}
-	for off := 0; off < len(data); off += stripeCap {
-		chunk := data[off:min(off+stripeCap, len(data))]
-		blockLen := (len(chunk) + k - 1) / k
-		shards := make([][]byte, k)
-		for i := range shards {
-			shards[i] = make([]byte, blockLen)
-			if lo := i * blockLen; lo < len(chunk) {
-				copy(shards[i], chunk[lo:])
-			}
-		}
-		stripe, err := s.cfg.Codec.Encode(shards, s.encodeWorkers(len(chunk)))
-		if err != nil {
-			return fail(err)
-		}
-		seq := int(s.seq.Add(1))
-		nodes := s.placer.place(seq, s.aliveSnapshot())
-		idx := len(obj.Stripes)
-		si := stripeInfo{
-			Seq:      seq,
-			DataLen:  len(chunk),
-			BlockLen: blockLen,
-			Nodes:    nodes,
-			Keys:     make([]string, len(stripe)),
-		}
-		for pos := range stripe {
-			si.Keys[pos] = blockKey(name, gen, idx, pos)
-		}
-		// Manifest entry first, writes second: a failed write then rolls
-		// back this stripe's earlier blocks too (Delete of a never-written
-		// key is a no-op).
-		obj.Stripes = append(obj.Stripes, si)
-		for pos, payload := range stripe {
-			if nodes[pos] < 0 {
-				return fail(fmt.Errorf("store: no live node for stripe %d block %d", idx, pos))
-			}
-			framed := FrameBlock(payload)
-			if err := s.cfg.Backend.Write(nodes[pos], si.Keys[pos], framed); err != nil {
-				return fail(fmt.Errorf("store: write stripe %d block %d: %w", idx, pos, err))
-			}
-			s.m.putBlocks.Add(1)
-			s.m.putBytes.Add(int64(len(framed)))
-		}
-	}
-	s.mu.Lock()
-	old := s.objects[name]
-	s.objects[name] = obj
-	s.mu.Unlock()
-	if old != nil {
-		s.deleteBlocks(old)
-	}
-	return nil
+	return s.PutReader(name, bytes.NewReader(data))
 }
 
 // readBlockPayload fetches and unframes one stripe position. Reads from
@@ -341,94 +280,6 @@ func (s *Store) reconstructPositions(si *stripeInfo, stripe [][]byte, need []int
 		}
 	}
 	return nil
-}
-
-// Get reads an object back, reconstructing missing or corrupt blocks
-// inline (the degraded read path: rebuilt blocks are served, not written
-// back — §1.1). The ReadInfo reports what the read actually cost.
-func (s *Store) Get(name string) ([]byte, ReadInfo, error) {
-	// A read racing an overwrite can hold a manifest whose blocks the
-	// overwrite already deleted; when that happens the object generation
-	// has moved, so retry against the new version. The cap only guards
-	// against a pathological stream of overwrites.
-	for attempt := 0; ; attempt++ {
-		data, info, gen, err := s.getVersion(name)
-		if err == nil || attempt >= 8 {
-			return data, info, err
-		}
-		s.mu.RLock()
-		cur := s.objects[name]
-		s.mu.RUnlock()
-		if cur == nil {
-			// Deleted mid-read: not-found is the truthful outcome.
-			return nil, info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
-		}
-		if cur.Gen == gen {
-			return data, info, err // same version: a genuine failure
-		}
-	}
-}
-
-// getVersion performs one Get attempt against the object version current
-// at entry, returning that version's generation.
-func (s *Store) getVersion(name string) ([]byte, ReadInfo, int64, error) {
-	// Copy the manifest under the lock: repair workers relocate blocks
-	// (mutating Nodes/Keys) concurrently with reads.
-	s.mu.RLock()
-	obj := s.objects[name]
-	var size int
-	var gen int64
-	var stripes []stripeInfo
-	if obj != nil {
-		size = obj.Size
-		gen = obj.Gen
-		stripes = make([]stripeInfo, len(obj.Stripes))
-		for i, si := range obj.Stripes {
-			si.Nodes = append([]int(nil), si.Nodes...)
-			si.Keys = append([]string(nil), si.Keys...)
-			stripes[i] = si
-		}
-	}
-	s.mu.RUnlock()
-	if obj == nil {
-		return nil, ReadInfo{}, 0, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
-	}
-	k := s.cfg.Codec.K()
-	n := s.cfg.Codec.NStored()
-	acct := &readAcct{}
-	out := make([]byte, 0, size)
-	for i := range stripes {
-		si := &stripes[i]
-		stripe := make([][]byte, n)
-		avail := make([]bool, n)
-		for pos := 0; pos < n; pos++ {
-			avail[pos] = s.Alive(si.Nodes[pos])
-		}
-		var missing []int
-		for pos := 0; pos < k; pos++ {
-			p, err := s.readBlockPayload(si, pos, acct)
-			if err != nil {
-				avail[pos] = false
-				missing = append(missing, pos)
-				continue
-			}
-			stripe[pos] = p
-		}
-		if len(missing) > 0 {
-			acct.degraded = true
-			if err := s.reconstructPositions(si, stripe, missing, avail, acct); err != nil {
-				s.m.mergeRead(acct)
-				return nil, acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, i, err)
-			}
-		}
-		chunk := make([]byte, 0, si.DataLen)
-		for pos := 0; pos < k && len(chunk) < si.DataLen; pos++ {
-			chunk = append(chunk, stripe[pos]...)
-		}
-		out = append(out, chunk[:si.DataLen]...)
-	}
-	s.m.mergeRead(acct)
-	return out, acct.info(), gen, nil
 }
 
 // Delete removes an object and its blocks.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -343,6 +344,34 @@ func TestDirBackend(t *testing.T) {
 	}
 	if !info.Degraded || info.LightRepairs != 1 {
 		t.Fatalf("info = %+v, want one light repair", info)
+	}
+}
+
+// TestDirBackendSweepsStaleTemps pins the crash-write story: a temp file
+// stranded by a killed writer is invisible to reads and swept at the
+// next open, while real blocks survive the sweep.
+func TestDirBackendSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	be, err := NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Write(7, "obj.g000001.s00000.b00", []byte("real block")); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "node007", tmpPrefix+"obj.g000001.s00000.b01-12345")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	be2, err := NewDirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp survived reopen: stat err %v", err)
+	}
+	if got, err := be2.Read(7, "obj.g000001.s00000.b00"); err != nil || string(got) != "real block" {
+		t.Fatalf("real block lost in sweep: %q, err %v", got, err)
 	}
 }
 

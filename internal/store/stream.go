@@ -1,0 +1,270 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// The streaming datapath: PutReader and GetWriter move objects through
+// the store one stripe at a time, so peak memory is O(stripe size ×
+// encode workers) no matter how large the object is — the paper's
+// multi-GB HDFS blocks fit through a laptop-sized heap. Blocks are
+// written to the backend as each stripe is encoded; the object manifest
+// is committed atomically only once the reader is exhausted, so a
+// half-streamed object is never visible and a mid-stream failure rolls
+// every written block back. Put and Get are thin wrappers over these.
+
+// PutReader stores an object streamed from r, replacing any previous
+// version once the stream completes. Each k·BlockSize chunk is encoded,
+// CRC-framed and written before the next chunk is read; the stripe
+// buffer is reused, so memory stays bounded by the stripe size while the
+// object can exceed RAM. On any error nothing is committed and all
+// blocks already written are deleted.
+func (s *Store) PutReader(name string, r io.Reader) error {
+	if name == "" {
+		return fmt.Errorf("store: empty object name")
+	}
+	k := s.cfg.Codec.K()
+	stripeCap := k * s.cfg.BlockSize
+	gen := s.gen.Add(1)
+	obj := &objectInfo{Name: name, Gen: gen}
+	// On any mid-stream failure, blocks already written would be orphaned
+	// (no manifest ever references them), so roll them back.
+	fail := func(err error) error {
+		s.deleteBlocks(obj)
+		return err
+	}
+	// One reusable stripe buffer: full-stripe shards alias it directly
+	// (see stripeShards), which is safe because backends must not retain
+	// Write's data after returning.
+	buf := make([]byte, stripeCap)
+	for {
+		n, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil && err != io.ErrUnexpectedEOF {
+			return fail(fmt.Errorf("store: read object %q: %w", name, err))
+		}
+		if n > 0 {
+			if perr := s.putStripe(obj, buf[:n]); perr != nil {
+				return fail(perr)
+			}
+			obj.Size += n
+		}
+		if err == io.ErrUnexpectedEOF {
+			break
+		}
+	}
+	s.commit(obj)
+	return nil
+}
+
+// putStripe encodes and writes one stripe, appending its manifest entry
+// to obj. chunk must be at most K·BlockSize bytes.
+func (s *Store) putStripe(obj *objectInfo, chunk []byte) error {
+	k := s.cfg.Codec.K()
+	blockLen := (len(chunk) + k - 1) / k
+	shards := stripeShards(chunk, k, blockLen)
+	stripe, err := s.cfg.Codec.Encode(shards, s.encodeWorkers(len(chunk)))
+	if err != nil {
+		return err
+	}
+	seq := int(s.seq.Add(1))
+	nodes := s.placer.place(seq, s.aliveSnapshot())
+	idx := len(obj.Stripes)
+	si := stripeInfo{
+		Seq:      seq,
+		DataLen:  len(chunk),
+		BlockLen: blockLen,
+		Nodes:    nodes,
+		Keys:     make([]string, len(stripe)),
+	}
+	for pos := range stripe {
+		si.Keys[pos] = blockKey(obj.Name, obj.Gen, idx, pos)
+	}
+	// Manifest entry first, writes second: a failed write then rolls
+	// back this stripe's earlier blocks too (Delete of a never-written
+	// key is a no-op).
+	obj.Stripes = append(obj.Stripes, si)
+	for pos, payload := range stripe {
+		if nodes[pos] < 0 {
+			return fmt.Errorf("store: no live node for stripe %d block %d", idx, pos)
+		}
+		framed := FrameBlock(payload)
+		if err := s.cfg.Backend.Write(nodes[pos], si.Keys[pos], framed); err != nil {
+			return fmt.Errorf("store: write stripe %d block %d: %w", idx, pos, err)
+		}
+		s.m.putBlocks.Add(1)
+		s.m.putBytes.Add(int64(len(framed)))
+	}
+	return nil
+}
+
+// commit atomically publishes obj as the current version of its name and
+// reclaims the blocks of any version it replaces.
+func (s *Store) commit(obj *objectInfo) {
+	s.mu.Lock()
+	old := s.objects[obj.Name]
+	s.objects[obj.Name] = obj
+	s.mu.Unlock()
+	if old != nil {
+		s.deleteBlocks(old)
+	}
+}
+
+// GetWriter streams an object to w stripe by stripe, reconstructing
+// missing or corrupt blocks inline exactly like Get (light local decode
+// first, so a single-loss stripe still costs the r=5 read set), with
+// memory bounded by one stripe. The ReadInfo reports what the read
+// actually cost. A read racing an overwrite retries against the new
+// version only while nothing has been written to w; once bytes are out,
+// a failure is final (the writer cannot be rewound).
+func (s *Store) GetWriter(name string, w io.Writer) (ReadInfo, error) {
+	cw := &countingWriter{w: w}
+	for attempt := 0; ; attempt++ {
+		info, gen, err := s.streamVersion(name, cw)
+		info.BytesWritten = cw.n
+		if err == nil || attempt >= 8 || cw.n > 0 {
+			return info, err
+		}
+		moved, found := s.versionMoved(name, gen)
+		if !found {
+			// Deleted mid-read: not-found is the truthful outcome.
+			return info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+		}
+		if !moved {
+			return info, err // same version: a genuine failure
+		}
+	}
+}
+
+// Get reads an object back, reconstructing missing or corrupt blocks
+// inline (the degraded read path: rebuilt blocks are served, not written
+// back — §1.1). The ReadInfo reports what the read actually cost. It is
+// a buffered wrapper over the streaming path, with the full
+// retry-on-overwrite loop (the buffer rewinds where an external writer
+// cannot).
+func (s *Store) Get(name string) ([]byte, ReadInfo, error) {
+	// A read racing an overwrite can hold a manifest whose blocks the
+	// overwrite already deleted; when that happens the object generation
+	// has moved, so retry against the new version. The cap only guards
+	// against a pathological stream of overwrites.
+	var buf bytes.Buffer
+	for attempt := 0; ; attempt++ {
+		buf.Reset()
+		info, gen, err := s.streamVersion(name, &buf)
+		if err == nil {
+			info.BytesWritten = int64(buf.Len())
+			return buf.Bytes(), info, nil
+		}
+		if attempt >= 8 {
+			return nil, info, err
+		}
+		moved, found := s.versionMoved(name, gen)
+		if !found {
+			return nil, info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+		}
+		if !moved {
+			return nil, info, err
+		}
+	}
+}
+
+// streamVersion performs one streaming read attempt against the object
+// version current at entry, returning that version's generation. Each
+// stripe is fetched, reconstructed if degraded, written to w and
+// dropped before the next one is touched.
+func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error) {
+	stripes, gen, ok := s.manifestSnapshot(name)
+	if !ok {
+		return ReadInfo{}, 0, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	k := s.cfg.Codec.K()
+	n := s.cfg.Codec.NStored()
+	acct := &readAcct{}
+	for i := range stripes {
+		si := &stripes[i]
+		stripe := make([][]byte, n)
+		avail := make([]bool, n)
+		for pos := 0; pos < n; pos++ {
+			avail[pos] = s.Alive(si.Nodes[pos])
+		}
+		var missing []int
+		for pos := 0; pos < k; pos++ {
+			p, err := s.readBlockPayload(si, pos, acct)
+			if err != nil {
+				avail[pos] = false
+				missing = append(missing, pos)
+				continue
+			}
+			stripe[pos] = p
+		}
+		if len(missing) > 0 {
+			acct.degraded = true
+			if err := s.reconstructPositions(si, stripe, missing, avail, acct); err != nil {
+				s.m.mergeRead(acct)
+				return acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, i, err)
+			}
+		}
+		remaining := si.DataLen
+		for pos := 0; pos < k && remaining > 0; pos++ {
+			part := stripe[pos]
+			if len(part) > remaining {
+				part = part[:remaining]
+			}
+			if _, err := w.Write(part); err != nil {
+				s.m.mergeRead(acct)
+				return acct.info(), gen, fmt.Errorf("store: write object %q: %w", name, err)
+			}
+			remaining -= len(part)
+		}
+	}
+	s.m.mergeRead(acct)
+	return acct.info(), gen, nil
+}
+
+// manifestSnapshot copies an object's stripe manifest under the lock:
+// repair workers relocate blocks (mutating Nodes/Keys) concurrently with
+// reads.
+func (s *Store) manifestSnapshot(name string) ([]stripeInfo, int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj := s.objects[name]
+	if obj == nil {
+		return nil, 0, false
+	}
+	stripes := make([]stripeInfo, len(obj.Stripes))
+	for i, si := range obj.Stripes {
+		si.Nodes = append([]int(nil), si.Nodes...)
+		si.Keys = append([]string(nil), si.Keys...)
+		stripes[i] = si
+	}
+	return stripes, obj.Gen, true
+}
+
+// versionMoved reports whether name's stored generation differs from gen
+// (the read raced an overwrite), and whether the object still exists.
+func (s *Store) versionMoved(name string, gen int64) (moved, found bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj := s.objects[name]
+	if obj == nil {
+		return false, false
+	}
+	return obj.Gen != gen, true
+}
+
+// countingWriter tracks how many bytes reached the underlying writer, so
+// GetWriter knows whether a retry is still possible.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

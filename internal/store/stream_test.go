@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	s := newTestStore(t, Config{BlockSize: 128})
+	rng := rand.New(rand.NewSource(21))
+	k := s.Codec().K()
+	sizes := []int{0, 1, 17, 127, 128, 128 * k, 128*k + 1, 3*128*k - 5}
+	for _, n := range sizes {
+		name := fmt.Sprintf("stream-%d", n)
+		want := randBytes(rng, n)
+		if err := s.PutReader(name, bytes.NewReader(want)); err != nil {
+			t.Fatalf("PutReader(%d bytes): %v", n, err)
+		}
+		var buf bytes.Buffer
+		info, err := s.GetWriter(name, &buf)
+		if err != nil {
+			t.Fatalf("GetWriter(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("GetWriter(%d bytes): payload mismatch", n)
+		}
+		if info.Degraded {
+			t.Fatalf("GetWriter(%d bytes): unexpectedly degraded", n)
+		}
+		if info.BytesWritten != int64(n) {
+			t.Fatalf("GetWriter(%d bytes): BytesWritten = %d", n, info.BytesWritten)
+		}
+		// The buffered wrappers see the same bytes.
+		got, _, err := s.Get(name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d bytes) after PutReader: err %v", n, err)
+		}
+	}
+}
+
+// TestStreamingDegradedLightReads pins the acceptance criterion: a
+// streaming Get over a single-loss stripe still takes the light local
+// decode, whose 5-block read set shares 4 members with the data blocks
+// already in hand — exactly one extra fetch beyond the k data reads.
+func TestStreamingDegradedLightReads(t *testing.T) {
+	s := newTestStore(t, Config{BlockSize: 256})
+	rng := rand.New(rand.NewSource(22))
+	const stripes = 4
+	want := randBytes(rng, 256*10*stripes)
+	if err := s.PutReader("x", bytes.NewReader(want)); err != nil {
+		t.Fatal(err)
+	}
+	node, key, err := s.BlockLocation("x", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Backend().(*MemBackend).Delete(node, key); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	info, err := s.GetWriter("x", &buf)
+	if err != nil || !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("degraded GetWriter: err %v", err)
+	}
+	if !info.Degraded || info.LightRepairs != 1 || info.HeavyRepairs != 0 {
+		t.Fatalf("info = %+v, want one light repair", info)
+	}
+	// 10 data reads per clean stripe, 9 on the damaged one, plus the one
+	// group member of the 5-block light set not already held.
+	if want := int64(stripes * 10); info.BlocksRead != want {
+		t.Fatalf("read %d blocks, want %d (light set adds exactly one fetch)", info.BlocksRead, want)
+	}
+}
+
+// failingReader errors after yielding n bytes.
+type failingReader struct {
+	n   int
+	err error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	n := len(p)
+	if n > f.n {
+		n = f.n
+	}
+	f.n -= n
+	return n, nil
+}
+
+func TestPutReaderMidStreamFailureRollsBack(t *testing.T) {
+	s := newTestStore(t, Config{BlockSize: 64})
+	boom := errors.New("disk on fire")
+	// Enough for a few stripes before the reader dies.
+	err := s.PutReader("doomed", &failingReader{n: 64 * 10 * 3, err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("PutReader: err %v, want %v", err, boom)
+	}
+	if _, _, err := s.Get("doomed"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("Get after failed PutReader: err %v, want ErrObjectNotFound", err)
+	}
+	mb := s.Backend().(*MemBackend)
+	for n := 0; n < s.Nodes(); n++ {
+		if c := mb.BlockCount(n); c != 0 {
+			t.Fatalf("node %d holds %d orphaned blocks after rollback", n, c)
+		}
+	}
+}
+
+// failAfterWriter fails every write past a byte budget — the
+// cannot-rewind half of GetWriter's contract.
+type failAfterWriter struct {
+	budget int
+	err    error
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if len(p) > f.budget {
+		n := f.budget
+		f.budget = 0
+		return n, f.err
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestGetWriterPropagatesWriterError(t *testing.T) {
+	s := newTestStore(t, Config{BlockSize: 64})
+	rng := rand.New(rand.NewSource(23))
+	if err := s.PutReader("w", bytes.NewReader(randBytes(rng, 64*10*2))); err != nil {
+		t.Fatal(err)
+	}
+	sink := errors.New("pipe closed")
+	if _, err := s.GetWriter("w", &failAfterWriter{budget: 100, err: sink}); !errors.Is(err, sink) {
+		t.Fatalf("GetWriter: err %v, want %v", err, sink)
+	}
+}
+
+func TestGetWriterNotFound(t *testing.T) {
+	s := newTestStore(t, Config{})
+	if _, err := s.GetWriter("ghost", io.Discard); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("GetWriter of missing object: err %v", err)
+	}
+}
+
+// TestStreamingBoundedMemory is the tentpole's acceptance test: a
+// 256 MiB object round-trips through PutReader/GetWriter on a disk
+// backend while the heap footprint stays bounded by stripes, far under
+// the object size. HeapSys only grows, so its delta is a high-water
+// proxy; HeapAlloc after a forced GC is the retained live set.
+func TestStreamingBoundedMemory(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates the heap; run without -race")
+	}
+	if testing.Short() {
+		t.Skip("256 MiB round trip; skipped with -short")
+	}
+	const objectSize = 256 << 20
+	be, err := NewDirBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestStore(t, Config{Backend: be, BlockSize: 1 << 20}) // 10 MiB stripes
+	var before, afterPut, afterGet runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	if err := s.PutReader("big", pattern.NewReader(objectSize)); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&afterPut)
+	if grew := int64(afterPut.HeapSys - before.HeapSys); grew > objectSize/2 {
+		t.Fatalf("PutReader heap footprint grew %d MiB for a %d MiB object; not stripe-bounded", grew>>20, objectSize>>20)
+	}
+
+	v := &pattern.Verifier{}
+	info, err := s.GetWriter("big", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Err != nil {
+		t.Fatalf("round-trip bytes diverge: %v", v.Err)
+	}
+	if v.N != objectSize {
+		t.Fatalf("GetWriter streamed %d bytes, want %d", v.N, objectSize)
+	}
+	if info.Degraded {
+		t.Fatalf("clean read reported degraded: %+v", info)
+	}
+	if info.BytesRead < objectSize {
+		t.Fatalf("read %d bytes for a %d-byte object", info.BytesRead, objectSize)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&afterGet)
+	if grew := int64(afterGet.HeapSys - before.HeapSys); grew > objectSize/2 {
+		t.Fatalf("GetWriter heap footprint grew %d MiB for a %d MiB object; not stripe-bounded", grew>>20, objectSize>>20)
+	}
+	if retained := int64(afterGet.HeapAlloc) - int64(before.HeapAlloc); retained > 64<<20 {
+		t.Fatalf("round trip retained %d MiB live heap", retained>>20)
+	}
+}
