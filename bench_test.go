@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/gf"
 	"repro/internal/lrc"
 	"repro/internal/markov"
 	"repro/internal/pattern"
@@ -456,6 +457,77 @@ func BenchmarkAblationReliabilitySweep(b *testing.B) {
 		if _, err := markov.Table1(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Kernel benchmarks (repro/internal/gf) ---
+
+// BenchmarkGFMulAdd measures the GF(2^8) fused multiply-accumulate — the
+// inner loop of every matrix-vector encode — on 1 MiB payloads with the
+// cached coefficient tables. Must report 0 allocs/op: the table is built
+// once per Field, never per call.
+func BenchmarkGFMulAdd(b *testing.B) {
+	f := gf.MustNew(8)
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(41)).Read(src)
+	f.MulAddSlice(0x1d, dst, src) // warm the cached table outside the timer
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MulAddSlice(0x1d, dst, src)
+	}
+	b.ReportMetric(float64(b.N)*float64(1<<20)/1e6/b.Elapsed().Seconds(), "MB/s")
+}
+
+// BenchmarkGFXOR measures the word-wise XOR kernel — the entire
+// arithmetic of the Xorbas local parities — on 1 MiB payloads.
+func BenchmarkGFXOR(b *testing.B) {
+	src := make([]byte, 1<<20)
+	dst := make([]byte, 1<<20)
+	rand.New(rand.NewSource(42)).Read(src)
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gf.XORSlice(dst, src)
+	}
+	b.ReportMetric(float64(b.N)*float64(1<<20)/1e6/b.Elapsed().Seconds(), "MB/s")
+}
+
+// BenchmarkEncodeStripe measures full-stripe parity encoding through the
+// store codecs' zero-allocation EncodeInto path (lane-packed wide tables:
+// one lookup per data byte) at the streaming datapath's 10×1 MiB stripe
+// geometry. MB/s counts data bytes in, matching the put path's view.
+func BenchmarkEncodeStripe(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	for _, sc := range storeCodecs {
+		b.Run(sc.name, func(b *testing.B) {
+			codec := sc.codec()
+			k, n := codec.K(), codec.NStored()
+			data := make([][]byte, k)
+			for i := range data {
+				data[i] = make([]byte, 1<<20)
+				rng.Read(data[i])
+			}
+			parity := make([][]byte, n-k)
+			for j := range parity {
+				parity[j] = make([]byte, 1<<20)
+			}
+			if err := codec.EncodeInto(data, parity, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(k) << 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := codec.EncodeInto(data, parity, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(k<<20)/1e6/b.Elapsed().Seconds(), "MB/s")
+		})
 	}
 }
 

@@ -9,11 +9,18 @@
 // becomes one entry; goos/goarch/pkg/cpu headers are carried through.
 // Non-benchmark lines (the paper-style reports the harness prints) are
 // ignored.
+//
+// With -compare old.json the run is additionally diffed against a prior
+// converted document: any benchmark present in both whose ns/op grew by
+// more than -threshold percent is reported on stderr and the process
+// exits 2 — distinct from exit 1 for tool errors (unreadable input,
+// bad baseline) — so CI can tell a perf regression from a broken run.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -37,6 +44,9 @@ type Doc struct {
 }
 
 func main() {
+	comparePath := flag.String("compare", "", "prior benchjson output to diff ns/op against; exit 2 on regression, 1 on tool error")
+	threshold := flag.Float64("threshold", 25, "ns/op growth percent considered a regression with -compare")
+	flag.Parse()
 	doc := Doc{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -67,10 +77,101 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *comparePath != "" {
+		regressed, err := compare(*comparePath, doc, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(2)
+		}
+	}
+}
+
+// compare diffs ns/op against a prior document, reporting every shared
+// benchmark that slowed down by more than threshold percent. Benchmarks
+// present on only one side are ignored — adding or retiring a benchmark
+// is not a regression.
+func compare(path string, cur Doc, threshold float64) (regressed bool, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var old Doc
+	if err := json.Unmarshal(blob, &old); err != nil {
+		return false, fmt.Errorf("parse %s: %w", path, err)
+	}
+	// Index the baseline by both its verbatim names and, where
+	// unambiguous, the -GOMAXPROCS-stripped form, so runs from machines
+	// with different core counts (Go omits the suffix at GOMAXPROCS=1)
+	// still pair up. Exact matches always win; a stripped key that would
+	// collide with a real name is never added, and the stripped fallback
+	// is skipped when the current run itself has a benchmark with that
+	// exact name (the stripped form then belongs to a different bench).
+	base := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			base[b.Name] = ns
+		}
+	}
+	for _, b := range old.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		if s := stripProcSuffix(b.Name); s != b.Name {
+			if _, taken := base[s]; !taken {
+				base[s] = ns
+			}
+		}
+	}
+	curNames := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curNames[b.Name] = true
+	}
+	for _, b := range cur.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		oldNs, shared := base[b.Name]
+		if !shared {
+			if s := stripProcSuffix(b.Name); s != b.Name && !curNames[s] {
+				oldNs, shared = base[s]
+			}
+		}
+		if !shared {
+			continue
+		}
+		growth := (ns - oldNs) / oldNs * 100
+		if growth > threshold {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op -> %.0f ns/op (+%.1f%% > %.0f%%)\n",
+				b.Name, oldNs, ns, growth, threshold)
+			regressed = true
+		}
+	}
+	return regressed, nil
+}
+
+// stripProcSuffix removes a trailing -<integer> (the GOMAXPROCS suffix
+// `go test` appends when GOMAXPROCS > 1). Returns the name unchanged if
+// no such suffix exists.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseBenchLine parses one `BenchmarkX-8  3  123 ns/op  4.5 MB/s ...`
 // line, reporting ok=false for anything that isn't a benchmark result.
+// Names are stored verbatim (including any -GOMAXPROCS suffix); compare
+// handles suffix differences between machines.
 func parseBenchLine(line string) (Benchmark, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {

@@ -28,9 +28,18 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/store"
 )
+
+// mbps formats a transfer rate; the CLI doubles as a quick perf probe.
+func mbps(bytes int64, d time.Duration) string {
+	if d <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f MB/s", float64(bytes)/1e6/d.Seconds())
+}
 
 func storeUsage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]")
@@ -167,6 +176,7 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, str
 		}
 	}
 	var size int64
+	start := time.Now()
 	if stream {
 		var r io.Reader = os.Stdin
 		if in != "-" {
@@ -195,12 +205,14 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, str
 		}
 		size = int64(len(data))
 	}
+	elapsed := time.Since(start)
 	if err := saveStore(dir, s); err != nil {
 		return err
 	}
 	m := s.Metrics()
-	fmt.Printf("put %s: %d bytes as %s over %d nodes / %d racks (%d blocks, %d bytes written)\n",
-		name, size, s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes)
+	fmt.Printf("put %s: %d bytes as %s over %d nodes / %d racks (%d blocks, %d bytes written) in %v (%s)\n",
+		name, size, s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes,
+		elapsed.Round(time.Millisecond), mbps(size, elapsed))
 	return nil
 }
 
@@ -215,6 +227,7 @@ func storeGet(dir, name, out string, stream bool) error {
 	var info store.ReadInfo
 	var size int64
 	report := os.Stdout
+	start := time.Now()
 	if stream {
 		if out != "" && out != "-" {
 			// Stream into a temp file and rename on success, so a failed
@@ -257,12 +270,14 @@ func storeGet(dir, name, out string, stream bool) error {
 		}
 		info, size = dinfo, int64(len(data))
 	}
+	elapsed := time.Since(start)
 	mode := "clean"
 	if info.Degraded {
 		mode = fmt.Sprintf("DEGRADED (%d light / %d heavy inline repairs)", info.LightRepairs, info.HeavyRepairs)
 	}
-	fmt.Fprintf(report, "get %s: %d bytes, %s; read %d blocks / %d bytes\n",
-		name, size, mode, info.BlocksRead, info.BytesRead)
+	fmt.Fprintf(report, "get %s: %d bytes, %s; read %d blocks / %d bytes in %v (%s)\n",
+		name, size, mode, info.BlocksRead, info.BytesRead,
+		elapsed.Round(time.Millisecond), mbps(size, elapsed))
 	return nil
 }
 

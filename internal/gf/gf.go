@@ -12,7 +12,10 @@
 // used by the (10,6,5) Xorbas code is GF(2^8).
 package gf
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Elem is a field element. Only the low m bits are meaningful for a field
 // GF(2^m); constructors and table lookups enforce the range.
@@ -41,6 +44,31 @@ type Field struct {
 	log    []int32
 	inv    []Elem // multiplicative inverses, inv[0] unused
 	genera Elem   // the generator α (always 2 = x)
+
+	// mulOnce guards the lazy build of mulTab, the full 256×256 GF(2^8)
+	// multiplication table the slice kernels index by coefficient. 64 KiB,
+	// built at most once per Field and shared by every concurrent encoder
+	// (sync.Once publishes the fully built table, so readers never see a
+	// partial row).
+	mulOnce sync.Once
+	mulTab  *[256][256]byte
+}
+
+// mulRow returns the 256-entry multiplication row for coefficient c,
+// building the field-wide cached table on first use. Only valid for m == 8.
+func (f *Field) mulRow(c Elem) *[256]byte {
+	f.mulOnce.Do(func() {
+		tab := new([256][256]byte)
+		for cc := 1; cc < 256; cc++ {
+			lc := int(f.log[cc])
+			row := &tab[cc]
+			for a := 1; a < 256; a++ {
+				row[a] = byte(f.exp[lc+int(f.log[a])])
+			}
+		}
+		f.mulTab = tab
+	})
+	return &f.mulTab[c]
 }
 
 // New constructs GF(2^m) for 2 <= m <= 16 using the package's default

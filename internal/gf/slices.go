@@ -1,38 +1,33 @@
 package gf
 
+import "encoding/binary"
+
 // Slice operations over byte payloads. These are the hot paths of the
 // encoders: every parity block is a linear combination Σ c_i·X_i of data
 // blocks, computed column-wise over the block payloads. For GF(2^8) each
 // payload byte is one field element; the local XOR parities of the Xorbas
 // code (all c_i = 1) reduce to plain XOR, which XORSlice provides without
 // any table lookups.
+//
+// The GF(2^8) multiply kernels index a per-Field cached 256×256 table
+// (see Field.mulRow) instead of rebuilding a 256-byte row per call, so
+// none of them allocate; the XOR kernel moves 8 bytes per iteration.
 
 // XORSlice sets dst[i] ^= src[i] for all i. dst and src must have equal
-// length. This is the entire arithmetic of the Xorbas local parities
-// (coefficients c_i = 1, Section 2.1).
+// length and may alias only if identical. This is the entire arithmetic of
+// the Xorbas local parities (coefficients c_i = 1, Section 2.1).
 func XORSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: XORSlice length mismatch")
 	}
-	// 8-way word at a time would need unsafe; the compiler already
-	// vectorizes this simple loop form well.
-	for i := range dst {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(dst); i++ {
 		dst[i] ^= src[i]
 	}
-}
-
-// mulTable returns the 256-entry row of the multiplication table for
-// coefficient c. Only valid for m == 8.
-func (f *Field) mulTable(c Elem) []byte {
-	t := make([]byte, 256)
-	if c == 0 {
-		return t
-	}
-	lc := int(f.log[c])
-	for a := 1; a < 256; a++ {
-		t[a] = byte(f.exp[lc+int(f.log[a])])
-	}
-	return t
 }
 
 // MulSlice sets dst[i] = c·src[i]. Valid for GF(2^8) fields only (payload
@@ -55,9 +50,17 @@ func (f *Field) MulSlice(c Elem, dst, src []byte) {
 		copy(dst, src)
 		return
 	}
-	t := f.mulTable(c)
-	for i, s := range src {
-		dst[i] = t[s]
+	t := f.mulRow(c)
+	dst = dst[:len(src)] // bounds-check hint: one len, checked once
+	n := len(src) &^ 3
+	for i := 0; i < n; i += 4 {
+		dst[i] = t[src[i]]
+		dst[i+1] = t[src[i+1]]
+		dst[i+2] = t[src[i+2]]
+		dst[i+3] = t[src[i+3]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] = t[src[i]]
 	}
 }
 
@@ -77,22 +80,100 @@ func (f *Field) MulAddSlice(c Elem, dst, src []byte) {
 		XORSlice(dst, src)
 		return
 	}
-	t := f.mulTable(c)
-	for i, s := range src {
-		dst[i] ^= t[s]
+	t := f.mulRow(c)
+	dst = dst[:len(src)]
+	n := len(src) &^ 3
+	for i := 0; i < n; i += 4 {
+		// 4-way unroll: the four table loads are independent, hiding the
+		// lookup latency the serial byte loop exposes.
+		dst[i] ^= t[src[i]]
+		dst[i+1] ^= t[src[i+1]]
+		dst[i+2] ^= t[src[i+2]]
+		dst[i+3] ^= t[src[i+3]]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= t[src[i]]
 	}
 }
 
 // DotSlices computes dst = Σ coeffs[j]·srcs[j] over GF(2^8), overwriting
-// dst. All srcs and dst must share one length.
+// dst. All srcs and dst must share one length. The first contribution
+// overwrites dst directly (no zeroing pass). Two dispatch tiers keep the
+// encode hot loop fast: an all-ones coefficient vector (the Xorbas local
+// parities) collapses to a word-wise multi-source XOR, and general
+// coefficients take a pairwise-fused table kernel that touches dst once
+// per two sources instead of once per source.
 func (f *Field) DotSlices(coeffs []Elem, dst []byte, srcs [][]byte) {
 	if len(coeffs) != len(srcs) {
 		panic("gf: DotSlices coefficient/source count mismatch")
 	}
-	for i := range dst {
-		dst[i] = 0
-	}
+	// Compact away zero coefficients.
+	nzc := make([]Elem, 0, 16)
+	nzs := make([][]byte, 0, 16)
+	ones := true
 	for j, c := range coeffs {
-		f.MulAddSlice(c, dst, srcs[j])
+		if c == 0 {
+			continue
+		}
+		if c != 1 {
+			ones = false
+		}
+		nzc = append(nzc, c)
+		nzs = append(nzs, srcs[j])
+	}
+	switch {
+	case len(nzc) == 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case len(nzc) == 1:
+		f.MulSlice(nzc[0], dst, nzs[0])
+	case ones:
+		xorIntoSlices(dst, nzs)
+	default:
+		f.MulSlice(nzc[0], dst, nzs[0])
+		j := 1
+		for ; j+1 < len(nzc); j += 2 {
+			f.mulAdd2(nzc[j], nzc[j+1], dst, nzs[j], nzs[j+1])
+		}
+		if j < len(nzc) {
+			f.MulAddSlice(nzc[j], dst, nzs[j])
+		}
+	}
+}
+
+// mulAdd2 sets dst[i] ^= c1·a[i] ^ c2·b[i]: two fused multiply-
+// accumulates in one pass, so dst is loaded and stored once per pair of
+// sources. c1, c2 must be ≥ 2 (callers route 0/1 elsewhere).
+func (f *Field) mulAdd2(c1, c2 Elem, dst, a, b []byte) {
+	t1, t2 := f.mulRow(c1), f.mulRow(c2)
+	n := len(dst) &^ 1
+	for i := 0; i < n; i += 2 {
+		dst[i] ^= t1[a[i]] ^ t2[b[i]]
+		dst[i+1] ^= t1[a[i+1]] ^ t2[b[i+1]]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= t1[a[i]] ^ t2[b[i]]
+	}
+}
+
+// xorIntoSlices sets dst = srcs[0] ^ srcs[1] ^ … word-wise, overwriting
+// dst: the whole arithmetic of a local parity column, with dst written
+// once for the entire group instead of once per member.
+func xorIntoSlices(dst []byte, srcs [][]byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(srcs[0][i:])
+		for _, s := range srcs[1:] {
+			w ^= binary.LittleEndian.Uint64(s[i:])
+		}
+		binary.LittleEndian.PutUint64(dst[i:], w)
+	}
+	for i := n; i < len(dst); i++ {
+		v := srcs[0][i]
+		for _, s := range srcs[1:] {
+			v ^= s[i]
+		}
+		dst[i] = v
 	}
 }

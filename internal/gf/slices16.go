@@ -1,5 +1,7 @@
 package gf
 
+import "encoding/binary"
+
 // 16-bit payload kernels. GF(2^8) caps codes at n ≤ 256 blocks; the
 // paper's archival direction (§7, stripe sizes of 50–100 blocks plus
 // parities) fits comfortably, but a (k, n−k) code over GF(2^16) lifts
@@ -9,7 +11,9 @@ package gf
 
 // MulAddSlice16 sets dst ^= c·src lane-wise over GF(2^16). dst and src
 // must have equal, even lengths. Unlike the GF(2^8) kernel there is no
-// 64 KiB lookup row per call; the log/exp tables are used directly.
+// cached lookup table (it would be 8 GiB); the log/exp tables are used
+// directly, with lanes moved as encoding/binary words rather than manual
+// byte shifts.
 func (f *Field) MulAddSlice16(c Elem, dst, src []byte) {
 	if f.m != 16 {
 		panic("gf: MulAddSlice16 requires GF(2^16)")
@@ -28,14 +32,14 @@ func (f *Field) MulAddSlice16(c Elem, dst, src []byte) {
 		return
 	}
 	lc := int(f.log[c])
+	exp, log := f.exp, f.log
 	for i := 0; i+1 < len(src); i += 2 {
-		a := Elem(src[i]) | Elem(src[i+1])<<8
+		a := binary.LittleEndian.Uint16(src[i:])
 		if a == 0 {
 			continue
 		}
-		p := f.exp[lc+int(f.log[a])]
-		dst[i] ^= byte(p)
-		dst[i+1] ^= byte(p >> 8)
+		p := exp[lc+int(log[a])]
+		binary.LittleEndian.PutUint16(dst[i:], binary.LittleEndian.Uint16(dst[i:])^p)
 	}
 }
 

@@ -1,0 +1,216 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// kernelLens exercises every word/tail split the fast kernels have: empty,
+// sub-word, exact words, words plus each possible byte tail, and a length
+// large enough to cover the unrolled body many times over.
+var kernelLens = []int{0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 255, 256, 257, 1023}
+
+// naiveMulAdd is the scalar reference implementation: dst[i] ^= c·src[i]
+// one element at a time through Field.Mul, no tables, no words.
+func naiveMulAdd(f *Field, c Elem, dst, src []byte) {
+	for i := range src {
+		dst[i] ^= byte(f.Mul(c, Elem(src[i])))
+	}
+}
+
+// TestMulKernelsMatchNaiveAllCoefficients pins the cached-table kernels
+// byte-identical to the naive scalar reference for every one of the 256
+// coefficients, across odd/tail lengths.
+func TestMulKernelsMatchNaiveAllCoefficients(t *testing.T) {
+	f := MustNew(8)
+	rng := rand.New(rand.NewSource(99))
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelLens {
+			src := make([]byte, n)
+			base := make([]byte, n)
+			rng.Read(src)
+			rng.Read(base)
+
+			wantMul := make([]byte, n)
+			for i := range src {
+				wantMul[i] = byte(f.Mul(Elem(c), Elem(src[i])))
+			}
+			gotMul := make([]byte, n)
+			f.MulSlice(Elem(c), gotMul, src)
+			if !bytes.Equal(gotMul, wantMul) {
+				t.Fatalf("MulSlice(c=%d, n=%d) diverges from naive reference", c, n)
+			}
+
+			wantAdd := append([]byte(nil), base...)
+			naiveMulAdd(f, Elem(c), wantAdd, src)
+			gotAdd := append([]byte(nil), base...)
+			f.MulAddSlice(Elem(c), gotAdd, src)
+			if !bytes.Equal(gotAdd, wantAdd) {
+				t.Fatalf("MulAddSlice(c=%d, n=%d) diverges from naive reference", c, n)
+			}
+		}
+	}
+}
+
+// TestXORSliceMatchesNaive covers the word body plus every tail length.
+func TestXORSliceMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, n := range kernelLens {
+		dst := make([]byte, n)
+		src := make([]byte, n)
+		rng.Read(dst)
+		rng.Read(src)
+		want := make([]byte, n)
+		for i := range dst {
+			want[i] = dst[i] ^ src[i]
+		}
+		XORSlice(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XORSlice(n=%d) diverges from naive reference", n)
+		}
+	}
+}
+
+// TestMulSliceAliased pins dst==src aliasing: MulSlice documents that dst
+// and src may be the same slice (the in-place scaling the decoders use).
+func TestMulSliceAliased(t *testing.T) {
+	f := MustNew(8)
+	rng := rand.New(rand.NewSource(101))
+	for c := 0; c < 256; c++ {
+		for _, n := range []int{1, 7, 8, 33, 257} {
+			buf := make([]byte, n)
+			rng.Read(buf)
+			want := make([]byte, n)
+			for i := range buf {
+				want[i] = byte(f.Mul(Elem(c), Elem(buf[i])))
+			}
+			f.MulSlice(Elem(c), buf, buf)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("aliased MulSlice(c=%d, n=%d) diverges", c, n)
+			}
+		}
+	}
+}
+
+// TestXORSliceAliasedSelfZeroes: x ^= x must zero the slice (identical
+// aliasing is the only aliasing XORSlice admits).
+func TestXORSliceAliasedSelfZeroes(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	XORSlice(buf, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("buf[%d] = %d after self-XOR", i, b)
+		}
+	}
+}
+
+// TestMulAddSlice16MatchesNaive checks the word-lane GF(2^16) kernel
+// against per-lane scalar math on even lengths including word tails.
+func TestMulAddSlice16MatchesNaive(t *testing.T) {
+	f := MustNew(16)
+	rng := rand.New(rand.NewSource(102))
+	for _, c := range []Elem{0, 1, 2, 3, 0x1234, 0xFFFF} {
+		for _, n := range []int{0, 2, 4, 6, 8, 14, 16, 18, 254, 256, 1024} {
+			src := make([]byte, n)
+			dst := make([]byte, n)
+			rng.Read(src)
+			rng.Read(dst)
+			want := append([]byte(nil), dst...)
+			for i := 0; i+1 < n; i += 2 {
+				a := Elem(src[i]) | Elem(src[i+1])<<8
+				p := f.Mul(c, a)
+				want[i] ^= byte(p)
+				want[i+1] ^= byte(p >> 8)
+			}
+			f.MulAddSlice16(c, dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlice16(c=%#x, n=%d) diverges from naive reference", c, n)
+			}
+		}
+	}
+}
+
+// TestDotSlicesNoNonzeroCoefficients: an all-zero coefficient vector must
+// still overwrite dst with zeros (DotSlices overwrites, never accumulates).
+func TestDotSlicesNoNonzeroCoefficients(t *testing.T) {
+	f := MustNew(8)
+	dst := []byte{9, 9, 9}
+	f.DotSlices([]Elem{0, 0}, dst, [][]byte{{1, 2, 3}, {4, 5, 6}})
+	for i, b := range dst {
+		if b != 0 {
+			t.Fatalf("dst[%d] = %d, want 0", i, b)
+		}
+	}
+}
+
+// TestMulRowConcurrentFirstUse races many goroutines into the lazy table
+// build; under -race this pins the sync.Once publication.
+func TestMulRowConcurrentFirstUse(t *testing.T) {
+	f := MustNew(8)
+	src := make([]byte, 512)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, len(src))
+			c := Elem(g*31 + 2)
+			f.MulAddSlice(c, dst, src)
+			want := make([]byte, len(src))
+			naiveMulAdd(f, c, want, src)
+			if !bytes.Equal(dst, want) {
+				t.Errorf("concurrent MulAddSlice(c=%d) diverges", c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDotSlicesMatchesNaive drives every dispatch tier (all-zero, single
+// source, all-ones XOR, mixed pairwise-fused, odd source counts) against
+// the scalar reference on odd/tail lengths.
+func TestDotSlicesMatchesNaive(t *testing.T) {
+	f := MustNew(8)
+	rng := rand.New(rand.NewSource(103))
+	cases := [][]Elem{
+		{0, 0, 0},
+		{7},
+		{1, 1},
+		{1, 1, 1, 1, 1},
+		{2, 3},
+		{2, 3, 4},
+		{2, 3, 4, 5},
+		{0, 9, 1, 0, 200, 17},
+		{1, 0, 1, 1},
+		{255, 254, 253, 3, 2, 1, 7, 9, 11, 13},
+	}
+	for _, coeffs := range cases {
+		for _, n := range []int{0, 1, 7, 8, 9, 17, 64, 257, 1000} {
+			srcs := make([][]byte, len(coeffs))
+			for j := range srcs {
+				srcs[j] = make([]byte, n)
+				rng.Read(srcs[j])
+			}
+			want := make([]byte, n)
+			for i := 0; i < n; i++ {
+				var acc Elem
+				for j, c := range coeffs {
+					acc = f.Add(acc, f.Mul(c, Elem(srcs[j][i])))
+				}
+				want[i] = byte(acc)
+			}
+			dst := make([]byte, n)
+			rng.Read(dst) // dirty: DotSlices must overwrite
+			f.DotSlices(coeffs, dst, srcs)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("DotSlices(coeffs=%v, n=%d) diverges from naive reference", coeffs, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package gf
+
+// Lane-packed multi-column kernels: the encoder's core operation is P
+// parity columns, each a dot product of the same K data slices with
+// different coefficients. Done column-at-a-time that reads every data
+// byte P times. A WideTables set packs, for each data source s, the P
+// byte-products {c_{0,s}·a, …, c_{P-1,s}·a} of every possible byte a into
+// one uint64 (one lane per column, P ≤ 8), so the whole parity set needs
+// exactly ONE table lookup per data byte: 256 entries × 8 B = 2 KiB per
+// source stays L1-resident, and a (10,6) Xorbas stripe encodes all six
+// parities in a single pass over the data.
+
+// WideLanes is the lane capacity of a WideTables set.
+const WideLanes = 8
+
+// wideChunk is the positions processed per accumulator flush: 8 KiB of
+// uint64 accumulator that stays cache-hot against ~20 KiB of tables.
+const wideChunk = 1024
+
+// WideTables computes up to 8 linear-combination columns of K byte
+// slices in one data pass. Immutable after construction; safe for
+// concurrent use.
+type WideTables struct {
+	k     int
+	lanes int
+	tabs  [][256]uint64 // tabs[s][a], lane l = byte of column l for source s
+}
+
+// NewWideTables builds the packed tables for cols, a list of coefficient
+// columns (one per output lane, each of length K over the data sources).
+// Requires GF(2^8), 1 ≤ len(cols) ≤ WideLanes.
+func (f *Field) NewWideTables(cols [][]Elem) *WideTables {
+	if f.m != 8 {
+		panic("gf: NewWideTables requires GF(2^8)")
+	}
+	if len(cols) == 0 || len(cols) > WideLanes {
+		panic("gf: NewWideTables needs 1..8 columns")
+	}
+	k := len(cols[0])
+	for _, col := range cols {
+		if len(col) != k {
+			panic("gf: NewWideTables column length mismatch")
+		}
+	}
+	w := &WideTables{k: k, lanes: len(cols), tabs: make([][256]uint64, k)}
+	for s := 0; s < k; s++ {
+		for l, col := range cols {
+			row := f.mulRow(col[s])
+			sh := 8 * uint(l)
+			for a := 0; a < 256; a++ {
+				w.tabs[s][a] |= uint64(row[a]) << sh
+			}
+		}
+	}
+	return w
+}
+
+// K returns the number of data sources the tables expect.
+func (w *WideTables) K() int { return w.k }
+
+// Lanes returns the number of output columns.
+func (w *WideTables) Lanes() int { return w.lanes }
+
+// Dot overwrites dsts[l][i] with column l of the combination of the K
+// source slices: one table lookup per source byte, all lanes at once.
+// dsts must have Lanes() entries and srcs K() entries, all equal length.
+func (w *WideTables) Dot(dsts, srcs [][]byte) {
+	if len(srcs) != w.k {
+		panic("gf: WideTables.Dot source count mismatch")
+	}
+	if len(dsts) != w.lanes {
+		panic("gf: WideTables.Dot destination count mismatch")
+	}
+	n := 0
+	if w.lanes > 0 {
+		n = len(dsts[0])
+	}
+	var acc [wideChunk]uint64
+	for base := 0; base < n; base += wideChunk {
+		cl := n - base
+		if cl > wideChunk {
+			cl = wideChunk
+		}
+		a := acc[:cl]
+		s := 0
+		// First group overwrites the accumulator; 5-source groups keep
+		// the lookups register-combined with one accumulator store each.
+		for ; s+5 <= w.k; s += 5 {
+			t0, t1, t2, t3, t4 := &w.tabs[s], &w.tabs[s+1], &w.tabs[s+2], &w.tabs[s+3], &w.tabs[s+4]
+			s0 := srcs[s][base : base+cl]
+			s1 := srcs[s+1][base : base+cl]
+			s2 := srcs[s+2][base : base+cl]
+			s3 := srcs[s+3][base : base+cl]
+			s4 := srcs[s+4][base : base+cl]
+			if s == 0 {
+				for i := range a {
+					a[i] = t0[s0[i]] ^ t1[s1[i]] ^ t2[s2[i]] ^ t3[s3[i]] ^ t4[s4[i]]
+				}
+			} else {
+				for i := range a {
+					a[i] ^= t0[s0[i]] ^ t1[s1[i]] ^ t2[s2[i]] ^ t3[s3[i]] ^ t4[s4[i]]
+				}
+			}
+		}
+		for ; s < w.k; s++ {
+			t := &w.tabs[s]
+			sv := srcs[s][base : base+cl]
+			if s == 0 {
+				for i := range a {
+					a[i] = t[sv[i]]
+				}
+			} else {
+				for i := range a {
+					a[i] ^= t[sv[i]]
+				}
+			}
+		}
+		scatter(a, dsts, base)
+	}
+}
+
+// scatter distributes the packed accumulator lanes into the destination
+// slices, reading each accumulator word once. The 4- and 6-lane bodies
+// are unrolled by hand — they are the RS(10,4) and Xorbas(10,6,5) hot
+// paths.
+func scatter(a []uint64, dsts [][]byte, base int) {
+	cl := len(a)
+	switch len(dsts) {
+	case 4:
+		d0 := dsts[0][base : base+cl]
+		d1 := dsts[1][base : base+cl]
+		d2 := dsts[2][base : base+cl]
+		d3 := dsts[3][base : base+cl]
+		for i, v := range a {
+			d0[i] = byte(v)
+			d1[i] = byte(v >> 8)
+			d2[i] = byte(v >> 16)
+			d3[i] = byte(v >> 24)
+		}
+	case 6:
+		d0 := dsts[0][base : base+cl]
+		d1 := dsts[1][base : base+cl]
+		d2 := dsts[2][base : base+cl]
+		d3 := dsts[3][base : base+cl]
+		d4 := dsts[4][base : base+cl]
+		d5 := dsts[5][base : base+cl]
+		for i, v := range a {
+			d0[i] = byte(v)
+			d1[i] = byte(v >> 8)
+			d2[i] = byte(v >> 16)
+			d3[i] = byte(v >> 24)
+			d4[i] = byte(v >> 32)
+			d5[i] = byte(v >> 40)
+		}
+	default:
+		for l := range dsts {
+			d := dsts[l][base : base+cl]
+			sh := 8 * uint(l)
+			for i := range d {
+				d[i] = byte(a[i] >> sh)
+			}
+		}
+	}
+}

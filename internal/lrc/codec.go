@@ -16,25 +16,86 @@ import (
 // short-circuit, which keeps the local XOR parities as cheap as a direct
 // XOR pass.
 func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if err := c.checkEncodeArgs(data); err != nil {
+		return nil, err
+	}
+	size := len(data[0])
+	stripe := make([][]byte, c.nStored)
+	copy(stripe, data)
+	parity := make([][]byte, c.nStored-c.params.K)
+	for j := range parity {
+		parity[j] = make([]byte, size)
+		stripe[c.params.K+j] = parity[j]
+	}
+	c.encodeRange(data, parity, 0, size)
+	return stripe, nil
+}
+
+// EncodeInto computes the NStored−K parity blocks directly into the
+// caller's buffers, overwriting them — the streaming store's zero-copy
+// path, where parity payloads are encoded straight into framed backend
+// buffers and no per-stripe parity allocation happens. parity[j] is
+// stored block K+j and must have the data shards' length.
+func (c *Code) EncodeInto(data, parity [][]byte) error {
+	if err := c.checkEncodeArgs(data); err != nil {
+		return err
+	}
+	if len(parity) != c.nStored-c.params.K {
+		return fmt.Errorf("lrc: got %d parity buffers, want %d", len(parity), c.nStored-c.params.K)
+	}
+	size := len(data[0])
+	for j, p := range parity {
+		if p == nil || len(p) != size {
+			return fmt.Errorf("lrc: parity buffer %d nil or size mismatch", j)
+		}
+	}
+	c.encodeRange(data, parity, 0, size)
+	return nil
+}
+
+// checkEncodeArgs validates the data shard slice for the encoders.
+func (c *Code) checkEncodeArgs(data [][]byte) error {
 	if len(data) != c.params.K {
-		return nil, fmt.Errorf("lrc: got %d data shards, want %d", len(data), c.params.K)
+		return fmt.Errorf("lrc: got %d data shards, want %d", len(data), c.params.K)
 	}
 	size := len(data[0])
 	for i, d := range data {
 		if d == nil || len(d) != size {
-			return nil, fmt.Errorf("lrc: data shard %d nil or size mismatch", i)
+			return fmt.Errorf("lrc: data shard %d nil or size mismatch", i)
 		}
 	}
-	stripe := make([][]byte, c.nStored)
-	copy(stripe, data)
-	for j := c.params.K; j < c.nStored; j++ {
-		p := make([]byte, size)
-		for i := 0; i < c.params.K; i++ {
-			c.f.MulAddSlice(c.gen.At(i, j), p, data[i])
-		}
-		stripe[j] = p
+	return nil
+}
+
+// encodeRange fills every parity column over the data byte window
+// [from, to) with the lane-packed wide tables: each 8-column group costs
+// one table lookup per data byte, total, instead of one per column. The
+// window form is what the parallel encoder splits on (any byte split is
+// valid — the code is byte-wise). Parity buffers are overwritten, so
+// dirty (reused) buffers are fine.
+func (c *Code) encodeRange(data, parity [][]byte, from, to int) {
+	if from >= to {
+		return
 	}
-	return stripe, nil
+	srcs := data
+	if from != 0 || to != len(data[0]) {
+		srcs = make([][]byte, len(data))
+		for i, d := range data {
+			srcs[i] = d[from:to]
+		}
+	}
+	lo := 0
+	for _, w := range c.wideTables() {
+		dsts := parity[lo : lo+w.Lanes()]
+		if from != 0 || to != len(parity[lo]) {
+			dsts = make([][]byte, w.Lanes())
+			for l := range dsts {
+				dsts[l] = parity[lo+l][from:to]
+			}
+		}
+		w.Dot(dsts, srcs)
+		lo += w.Lanes()
+	}
 }
 
 // EncodePartial encodes a short stripe of fewer than K data shards, the

@@ -24,6 +24,7 @@ package lrc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gf"
 	"repro/internal/matrix"
@@ -124,6 +125,33 @@ type Code struct {
 	// recipeCache holds the per-block light-repair recipes, computed once
 	// at construction so the Code is safe for concurrent use afterwards.
 	recipeCache []*recipe
+	// parityCols[j-K] is generator column j as a flat coefficient vector,
+	// extracted once so the encoders iterate a slice instead of calling
+	// gen.At in the hot loop.
+	parityCols [][]gf.Elem
+	// wide holds the lane-packed encode tables: each set computes up to
+	// 8 parity columns in one pass over the data (one table lookup per
+	// data byte total — the encode hot path). Built lazily on first
+	// encode so constructing a Code for analysis (distance sweeps, plan
+	// enumeration) stays cheap; sync.Once publishes the finished tables
+	// to concurrent encoders.
+	wideOnce sync.Once
+	wide     []*gf.WideTables
+}
+
+// wideTables returns the lane-packed encode tables, building them on
+// first use.
+func (c *Code) wideTables() []*gf.WideTables {
+	c.wideOnce.Do(func() {
+		for lo := 0; lo < len(c.parityCols); lo += gf.WideLanes {
+			hi := lo + gf.WideLanes
+			if hi > len(c.parityCols) {
+				hi = len(c.parityCols)
+			}
+			c.wide = append(c.wide, c.f.NewWideTables(c.parityCols[lo:hi]))
+		}
+	})
+	return c.wide
 }
 
 // New constructs an LRC with all-ones (pure XOR) local-parity
@@ -220,7 +248,22 @@ func newWithCoefficientFn(p Params, coeff func(g, j int) gf.Elem) (*Code, error)
 
 	c.gen = c.buildGenerator()
 	c.recipeCache = c.lightRecipes()
+	c.buildParityCols()
 	return c, nil
+}
+
+// buildParityCols flattens the non-data generator columns for the encode
+// hot loop. Must run after gen is assembled.
+func (c *Code) buildParityCols() {
+	k := c.params.K
+	c.parityCols = make([][]gf.Elem, c.nStored-k)
+	for j := k; j < c.nStored; j++ {
+		col := make([]gf.Elem, k)
+		for i := 0; i < k; i++ {
+			col[i] = c.gen.At(i, j)
+		}
+		c.parityCols[j-k] = col
+	}
 }
 
 // buildGenerator assembles the K×nStored generator matrix: the precode's

@@ -6,44 +6,72 @@ import (
 	"sync"
 )
 
-// EncodeParallel is Encode with the parity columns computed across
-// goroutines — the shape production encoders use for 256 MB blocks,
-// where each parity is an independent column combination. workers ≤ 0
-// uses GOMAXPROCS. Output is bit-identical to Encode.
+// EncodeParallel is Encode with the work spread across goroutines — the
+// shape production encoders use for 256 MB blocks. Workers split the
+// payload by byte range (the code is byte-wise, so any split is valid)
+// and each range computes every parity column through the lane-packed
+// wide tables. workers ≤ 0 uses GOMAXPROCS. Output is bit-identical to
+// Encode.
 func (c *Code) EncodeParallel(data [][]byte, workers int) ([][]byte, error) {
-	if len(data) != c.params.K {
-		return nil, fmt.Errorf("lrc: got %d data shards, want %d", len(data), c.params.K)
+	if err := c.checkEncodeArgs(data); err != nil {
+		return nil, err
 	}
 	size := len(data[0])
-	for i, d := range data {
-		if d == nil || len(d) != size {
-			return nil, fmt.Errorf("lrc: data shard %d nil or size mismatch", i)
+	stripe := make([][]byte, c.nStored)
+	copy(stripe, data)
+	parity := make([][]byte, c.nStored-c.params.K)
+	for j := range parity {
+		parity[j] = make([]byte, size)
+		stripe[c.params.K+j] = parity[j]
+	}
+	c.encodeRangeParallel(data, parity, workers)
+	return stripe, nil
+}
+
+// EncodeIntoParallel is EncodeInto with the byte range spread across
+// goroutines. Output is bit-identical to EncodeInto.
+func (c *Code) EncodeIntoParallel(data, parity [][]byte, workers int) error {
+	if err := c.checkEncodeArgs(data); err != nil {
+		return err
+	}
+	if len(parity) != c.nStored-c.params.K {
+		return fmt.Errorf("lrc: got %d parity buffers, want %d", len(parity), c.nStored-c.params.K)
+	}
+	size := len(data[0])
+	for j, p := range parity {
+		if p == nil || len(p) != size {
+			return fmt.Errorf("lrc: parity buffer %d nil or size mismatch", j)
 		}
 	}
+	c.encodeRangeParallel(data, parity, workers)
+	return nil
+}
+
+// encodeRangeParallel splits the payload into contiguous byte ranges,
+// one goroutine per range. Ranges keep every worker's accumulator and
+// table set cache-local and need no synchronization beyond the join.
+func (c *Code) encodeRangeParallel(data, parity [][]byte, workers int) {
+	size := len(data[0])
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	stripe := make([][]byte, c.nStored)
-	copy(stripe, data)
-	jobs := make(chan int)
+	// Tiny payloads aren't worth a goroutine per slice of them.
+	if workers <= 1 || size < 4096 {
+		c.encodeRange(data, parity, 0, size)
+		return
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		from := w * size / workers
+		to := (w + 1) * size / workers
+		if from == to {
+			continue
+		}
 		wg.Add(1)
-		go func() {
+		go func(from, to int) {
 			defer wg.Done()
-			for j := range jobs {
-				p := make([]byte, size)
-				for i := 0; i < c.params.K; i++ {
-					c.f.MulAddSlice(c.gen.At(i, j), p, data[i])
-				}
-				stripe[j] = p
-			}
-		}()
+			c.encodeRange(data, parity, from, to)
+		}(from, to)
 	}
-	for j := c.params.K; j < c.nStored; j++ {
-		jobs <- j
-	}
-	close(jobs)
 	wg.Wait()
-	return stripe, nil
 }

@@ -110,6 +110,7 @@ func NewPyramid(p Params) (*Code, error) {
 	c.groups = append(c.groups, pg)
 	c.gen = gen
 	c.recipeCache = c.lightRecipes()
+	c.buildParityCols()
 	return c, nil
 }
 

@@ -17,6 +17,7 @@ package rs
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gf"
 	"repro/internal/matrix"
@@ -29,6 +30,33 @@ type Code struct {
 	k   int            // data blocks per stripe
 	n   int            // total coded blocks per stripe
 	gen *matrix.Matrix // k×n systematic generator, first k columns = I
+	// parityCols[j-k] is generator column j flattened, so the encode hot
+	// loop iterates a slice instead of calling gen.At per coefficient.
+	parityCols [][]gf.Elem
+	// wide holds the lane-packed encode tables (GF(2^8) only): each set
+	// computes up to 8 parity columns in one pass over the data. Built
+	// lazily on the first encode so analysis-only constructions stay
+	// cheap; sync.Once publishes the tables to concurrent encoders.
+	wideOnce sync.Once
+	wide     []*gf.WideTables
+}
+
+// wideTables returns the lane-packed encode tables (nil for fields wider
+// than GF(2^8)), building them on first use.
+func (c *Code) wideTables() []*gf.WideTables {
+	c.wideOnce.Do(func() {
+		if c.f.M() != 8 {
+			return
+		}
+		for lo := 0; lo < len(c.parityCols); lo += gf.WideLanes {
+			hi := lo + gf.WideLanes
+			if hi > len(c.parityCols) {
+				hi = len(c.parityCols)
+			}
+			c.wide = append(c.wide, c.f.NewWideTables(c.parityCols[lo:hi]))
+		}
+	})
+	return c.wide
 }
 
 // New constructs the (k, n−k) Reed-Solomon code of Appendix D over the
@@ -48,7 +76,16 @@ func New(f *gf.Field, k, n int) (*Code, error) {
 		return nil, fmt.Errorf("rs: data columns singular: %w", err)
 	}
 	gen := a.Mul(g)
-	return &Code{f: f, k: k, n: n, gen: gen}, nil
+	c := &Code{f: f, k: k, n: n, gen: gen}
+	c.parityCols = make([][]gf.Elem, n-k)
+	for j := k; j < n; j++ {
+		col := make([]gf.Elem, k)
+		for i := 0; i < k; i++ {
+			col[i] = gen.At(i, j)
+		}
+		c.parityCols[j-k] = col
+	}
+	return c, nil
 }
 
 // New256 constructs the code over the default GF(2^8) field, which covers
@@ -115,13 +152,59 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 	stripe := make([][]byte, c.n)
 	copy(stripe, data)
 	for j := c.k; j < c.n; j++ {
-		p := make([]byte, size)
-		for i := 0; i < c.k; i++ {
-			c.f.MulAddSliceAuto(c.gen.At(i, j), p, data[i])
-		}
-		stripe[j] = p
+		stripe[j] = make([]byte, size)
 	}
+	c.encodeInto(data, stripe[c.k:])
 	return stripe, nil
+}
+
+// EncodeInto computes the n−k parity shards directly into the caller's
+// buffers, overwriting them (they may hold stale bytes from a previous
+// stripe — the streaming store's reuse path). parity[j] is coded block
+// k+j and must have the data shards' length.
+func (c *Code) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("rs: got %d data shards, want %d", len(data), c.k)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if d == nil || len(d) != size {
+			return fmt.Errorf("rs: data shard %d nil or size mismatch", i)
+		}
+	}
+	if len(parity) != c.n-c.k {
+		return fmt.Errorf("rs: got %d parity buffers, want %d", len(parity), c.n-c.k)
+	}
+	for j, p := range parity {
+		if p == nil || len(p) != size {
+			return fmt.Errorf("rs: parity buffer %d nil or size mismatch", j)
+		}
+	}
+	c.encodeInto(data, parity)
+	return nil
+}
+
+// encodeInto fills the parity buffers. GF(2^8) takes the lane-packed wide
+// tables (one lookup per data byte for a whole 8-column group); wider
+// fields zero and accumulate with the lane kernel.
+func (c *Code) encodeInto(data, parity [][]byte) {
+	if wide := c.wideTables(); wide != nil {
+		lo := 0
+		for _, w := range wide {
+			w.Dot(parity[lo:lo+w.Lanes()], data)
+			lo += w.Lanes()
+		}
+		return
+	}
+	for j := range parity {
+		p := parity[j]
+		for i := range p {
+			p[i] = 0
+		}
+		for i, col := 0, c.parityCols[j]; i < c.k; i++ {
+			c.f.MulAddSliceAuto(col[i], p, data[i])
+		}
+	}
 }
 
 // EncodeVector encodes a k-element message vector into the n-element

@@ -19,10 +19,23 @@ type Backend interface {
 	// implementations must copy or persist the bytes, never retain the
 	// slice.
 	Write(node int, key string, data []byte) error
-	// Read returns the block bytes, or ErrNotFound.
+	// Read returns the block bytes, or ErrNotFound. The returned slice
+	// may alias the backend's own storage: callers must treat it as
+	// read-only (every consumer in the store does — payloads are decoded,
+	// verified and served, never edited in place).
 	Read(node int, key string) ([]byte, error)
 	// Delete removes the block; deleting a missing block is not an error.
 	Delete(node int, key string) error
+}
+
+// OwnedWriter is an optional Backend fast path: WriteOwned stores a block
+// taking ownership of data's backing array, so an in-memory backend can
+// keep the slice instead of copying it. The caller must never touch data
+// again after a successful WriteOwned. Backends that persist bytes
+// elsewhere (disk, network) simply don't implement it and the store falls
+// back to Write.
+type OwnedWriter interface {
+	WriteOwned(node int, key string, data []byte) error
 }
 
 // ErrNotFound reports a block absent from a backend.
@@ -35,13 +48,23 @@ var ErrCorrupt = errors.New("store: block checksum mismatch")
 // checksums).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// AppendFrame appends the framed encoding of payload — the 4-byte
+// little-endian CRC32C header followed by the payload bytes — to dst and
+// returns the extended slice. With a reused dst (frame = AppendFrame(
+// frame[:0], payload)) the hot paths frame blocks with no per-block
+// allocation.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
 // FrameBlock prepends the 4-byte little-endian CRC32C of the payload: the
-// on-disk block format. The payload is copied.
+// on-disk block format. The payload is copied into a fresh slice; inner
+// loops should prefer AppendFrame with a reused buffer.
 func FrameBlock(payload []byte) []byte {
-	out := make([]byte, 4+len(payload))
-	binary.LittleEndian.PutUint32(out, crc32.Checksum(payload, castagnoli))
-	copy(out[4:], payload)
-	return out
+	return AppendFrame(make([]byte, 0, 4+len(payload)), payload)
 }
 
 // UnframeBlock validates and strips the CRC header, returning the payload
@@ -71,6 +94,13 @@ func NewMemBackend() *MemBackend {
 
 // Write implements Backend.
 func (m *MemBackend) Write(node int, key string, data []byte) error {
+	return m.WriteOwned(node, key, append([]byte(nil), data...))
+}
+
+// WriteOwned implements OwnedWriter: the slice is stored directly, so the
+// streaming put path's framed block buffers become the stored blocks with
+// zero copies.
+func (m *MemBackend) WriteOwned(node int, key string, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	blocks := m.nodes[node]
@@ -78,11 +108,14 @@ func (m *MemBackend) Write(node int, key string, data []byte) error {
 		blocks = make(map[string][]byte)
 		m.nodes[node] = blocks
 	}
-	blocks[key] = append([]byte(nil), data...)
+	blocks[key] = data
 	return nil
 }
 
-// Read implements Backend.
+// Read implements Backend. The returned slice aliases the stored block
+// (the Backend contract makes reads read-only), so a memory-backed read
+// costs a map lookup, not a copy. The alias stays valid after Delete or
+// an overwriting Write: those replace the map entry, never the bytes.
 func (m *MemBackend) Read(node int, key string) ([]byte, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -90,7 +123,7 @@ func (m *MemBackend) Read(node int, key string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
 	}
-	return append([]byte(nil), b...), nil
+	return b, nil
 }
 
 // Delete implements Backend.
@@ -101,8 +134,10 @@ func (m *MemBackend) Delete(node int, key string) error {
 	return nil
 }
 
-// Corrupt flips one payload byte of a stored block in place — a test and
-// walkthrough hook simulating silent disk corruption.
+// Corrupt flips one payload byte of a stored block — a test and
+// walkthrough hook simulating silent disk corruption. The mutation goes
+// through a copy-on-write replacement of the map entry: Read hands out
+// aliases of stored bytes, so the bytes themselves must stay immutable.
 func (m *MemBackend) Corrupt(node int, key string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -110,7 +145,9 @@ func (m *MemBackend) Corrupt(node int, key string) error {
 	if !ok {
 		return fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
 	}
-	b[len(b)-1] ^= 0xFF
+	nb := append([]byte(nil), b...)
+	nb[len(nb)-1] ^= 0xFF
+	m.nodes[node][key] = nb
 	return nil
 }
 

@@ -11,6 +11,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/lrc"
@@ -30,6 +31,12 @@ type Codec interface {
 	// Encode computes the full stored stripe from K equal-length data
 	// blocks. workers parallelizes parity computation; ≤1 is serial.
 	Encode(data [][]byte, workers int) ([][]byte, error)
+	// EncodeInto computes the NStored−K parity payloads directly into the
+	// caller's buffers, overwriting any stale contents — the streaming
+	// put path, which encodes parities straight into reusable framed
+	// block buffers with no per-stripe allocation. parity[j] is stored
+	// block K+j and must have the data blocks' length.
+	EncodeInto(data, parity [][]byte, workers int) error
 	// PlanReads returns the stripe positions to fetch so block i can be
 	// rebuilt, given avail[j] marking positions believed readable, and
 	// whether the light (local) decoder suffices. Positions already held
@@ -49,29 +56,6 @@ type Codec interface {
 	Verify(stripe [][]byte) (bool, error)
 	// LocateCorruption pins silently corrupted blocks in a full stripe.
 	LocateCorruption(stripe [][]byte) ([]int, error)
-}
-
-// stripeShards slices one stripe payload into k blocks of blockLen bytes
-// for Encode. A payload filling k·blockLen exactly is aliased in place —
-// the streaming fast path, where the caller's stripe buffer is reused
-// and no per-stripe copy is made (codecs do not retain the data slices
-// past Encode, and backends must not retain Write's bytes). A short
-// final stripe is copied into fresh zero-padded shards.
-func stripeShards(chunk []byte, k, blockLen int) [][]byte {
-	shards := make([][]byte, k)
-	if len(chunk) == k*blockLen {
-		for i := range shards {
-			shards[i] = chunk[i*blockLen : (i+1)*blockLen]
-		}
-		return shards
-	}
-	for i := range shards {
-		shards[i] = make([]byte, blockLen)
-		if lo := i * blockLen; lo < len(chunk) {
-			copy(shards[i], chunk[lo:])
-		}
-	}
-	return shards
 }
 
 // LRCCodec adapts *lrc.Code to the store. The zero value is unusable; use
@@ -114,6 +98,14 @@ func (l *LRCCodec) Encode(data [][]byte, workers int) ([][]byte, error) {
 		return l.c.EncodeParallel(data, workers)
 	}
 	return l.c.Encode(data)
+}
+
+// EncodeInto implements Codec.
+func (l *LRCCodec) EncodeInto(data, parity [][]byte, workers int) error {
+	if workers > 1 {
+		return l.c.EncodeIntoParallel(data, parity, workers)
+	}
+	return l.c.EncodeInto(data, parity)
 }
 
 // PlanReads implements Codec via the code's repair planner (minimal read
@@ -182,6 +174,11 @@ func (r *RSCodec) Encode(data [][]byte, workers int) ([][]byte, error) {
 	return r.c.Encode(data)
 }
 
+// EncodeInto implements Codec (serial regardless of workers, like Encode).
+func (r *RSCodec) EncodeInto(data, parity [][]byte, workers int) error {
+	return r.c.EncodeInto(data, parity)
+}
+
 // PlanReads implements Codec with the minimal policy: any rank-k subset of
 // the available blocks. light is always false — RS repairs are heavy.
 func (r *RSCodec) PlanReads(i int, avail []bool) ([]int, bool, error) {
@@ -247,7 +244,7 @@ func (r *RSCodec) LocateCorruption(stripe [][]byte) ([]int, error) {
 		if err != nil {
 			continue
 		}
-		if !bytesEq(rebuilt, stripe[j]) {
+		if !bytes.Equal(rebuilt, stripe[j]) {
 			work[j] = rebuilt
 			if ok, err := r.c.Verify(work); err == nil && ok {
 				corrupted = append(corrupted, j)
@@ -261,16 +258,4 @@ func (r *RSCodec) LocateCorruption(stripe [][]byte) ([]int, error) {
 		}
 	}
 	return corrupted, nil
-}
-
-func bytesEq(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

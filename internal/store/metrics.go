@@ -12,6 +12,18 @@ type readAcct struct {
 	degraded bool
 }
 
+// add folds b into a — the streaming read path gives each concurrent
+// fetch its own acct and merges them in stripe order.
+func (a *readAcct) add(b *readAcct) {
+	a.blocks += b.blocks
+	a.bytes += b.bytes
+	a.light += b.light
+	a.heavy += b.heavy
+	if b.degraded {
+		a.degraded = true
+	}
+}
+
 // ReadInfo reports what one Get actually cost — the per-read observables
 // behind the paper's repair-traffic plots (Figs 4–6): a degraded LRC read
 // fetches the r=5 light set where the RS baseline fetches k=10 blocks.

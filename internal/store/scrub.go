@@ -108,6 +108,7 @@ func (r *RepairManager) repairOne(it repairItem) {
 	// re-reports whatever is still missing.
 	_ = s.reconstructPositions(&si, stripe, damaged, avail, acct)
 	aliveNow := s.aliveSnapshot()
+	var frame []byte // reused across rewrites; Write never retains it
 	for _, pos := range damaged {
 		if stripe[pos] == nil {
 			continue // this one could not be rebuilt
@@ -135,7 +136,8 @@ func (r *RepairManager) repairOne(it repairItem) {
 				_ = s.cfg.Backend.Delete(old, si.Keys[pos])
 			}
 		}
-		if err := s.cfg.Backend.Write(node, si.Keys[pos], FrameBlock(stripe[pos])); err != nil {
+		frame = AppendFrame(frame[:0], stripe[pos])
+		if err := s.cfg.Backend.Write(node, si.Keys[pos], frame); err != nil {
 			continue
 		}
 		if s.relocateBlock(it.ref, pos, node, si.Keys[pos]) {

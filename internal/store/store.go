@@ -34,6 +34,14 @@ type Config struct {
 	// ParallelThreshold is the stripe payload size at which encoding goes
 	// parallel (default 1 MiB).
 	ParallelThreshold int
+	// WriteWorkers bounds the pool writing one stripe's framed blocks to
+	// the backend concurrently during streaming puts: 0 = default (4),
+	// <0 = serial. Disk and network backends overlap write latency; a
+	// memory backend mostly overlaps lock hold times.
+	WriteWorkers int
+	// ReadWorkers bounds the pool fetching one stripe's data blocks
+	// concurrently during streaming gets: 0 = default (4), <0 = serial.
+	ReadWorkers int
 }
 
 func (c *Config) fillDefaults() {
@@ -94,6 +102,11 @@ type objectInfo struct {
 	// never splice an old block key into the new manifest).
 	Gen     int64        `json:"gen"`
 	Stripes []stripeInfo `json:"stripes"`
+	// muts counts in-place manifest mutations of this version (repair
+	// relocations), guarded by Store.mu. A failed read retries only if
+	// (Gen, muts) moved — an unchanged manifest means the failure is
+	// genuine, not a stale snapshot. Runtime state, not persisted.
+	muts int64
 }
 
 // Store is a concurrent erasure-coded object store. All methods are safe
@@ -101,10 +114,22 @@ type objectInfo struct {
 type Store struct {
 	cfg    Config
 	placer *placer
+	// ownedW is non-nil when the backend supports ownership-transfer
+	// writes (MemBackend): the streaming put then hands framed buffers to
+	// the backend instead of letting Write copy them.
+	ownedW OwnedWriter
 
 	mu      sync.RWMutex
 	objects map[string]*objectInfo
 	alive   []bool
+
+	// Version pinning: a streaming read pins the (name, generation) it
+	// snapshotted so an overwrite or delete racing the read cannot
+	// reclaim that version's blocks mid-stream. retire defers the
+	// reclamation of a pinned version to the last unpin.
+	pinMu     sync.Mutex
+	pins      map[verKey]int
+	condemned map[verKey]*objectInfo
 
 	gen atomic.Int64 // Put generation, keeps block keys unique
 	seq atomic.Int64 // stripe placement rotation
@@ -119,10 +144,15 @@ func New(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		cfg:     cfg,
-		placer:  newPlacer(cfg.Codec, cfg.Nodes, cfg.Racks),
-		objects: make(map[string]*objectInfo),
-		alive:   make([]bool, cfg.Nodes),
+		cfg:       cfg,
+		placer:    newPlacer(cfg.Codec, cfg.Nodes, cfg.Racks),
+		objects:   make(map[string]*objectInfo),
+		alive:     make([]bool, cfg.Nodes),
+		pins:      make(map[verKey]int),
+		condemned: make(map[verKey]*objectInfo),
+	}
+	if ow, ok := cfg.Backend.(OwnedWriter); ok {
+		s.ownedW = ow
 	}
 	for i := range s.alive {
 		s.alive[i] = true
@@ -204,6 +234,29 @@ func (s *Store) encodeWorkers(stripeBytes int) int {
 	}
 }
 
+// poolSize interprets a worker-count config field (<0 serial, 0 default
+// of 4) and caps it at the number of jobs.
+func poolSize(cfgVal, jobs int) int {
+	w := cfgVal
+	switch {
+	case w < 0:
+		return 1
+	case w == 0:
+		w = 4
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// writeWorkers picks the backend-write pool size for a stripe of n blocks.
+func (s *Store) writeWorkers(n int) int { return poolSize(s.cfg.WriteWorkers, n) }
+
+// readWorkers picks the backend-read pool size for a stripe of k data
+// blocks.
+func (s *Store) readWorkers(k int) int { return poolSize(s.cfg.ReadWorkers, k) }
+
 // Put stores an object under name, replacing any previous version. The
 // object is chunked into K·BlockSize stripes, encoded (in parallel for
 // large stripes), CRC-framed and placed rack-aware on live nodes. It is
@@ -282,6 +335,56 @@ func (s *Store) reconstructPositions(si *stripeInfo, stripe [][]byte, need []int
 	return nil
 }
 
+// verKey names one version of one object for the pin table.
+type verKey struct {
+	name string
+	gen  int64
+}
+
+// pin marks one more in-flight reader of (name, gen). Callers must hold
+// at least s.mu.RLock when pinning a version they just looked up, so the
+// pin is atomic with the lookup against a concurrent commit.
+func (s *Store) pin(name string, gen int64) {
+	s.pinMu.Lock()
+	s.pins[verKey{name, gen}]++
+	s.pinMu.Unlock()
+}
+
+// unpin releases one reader of (name, gen) and reclaims the version's
+// blocks if it was condemned while pinned.
+func (s *Store) unpin(name string, gen int64) {
+	k := verKey{name, gen}
+	var reclaim *objectInfo
+	s.pinMu.Lock()
+	if s.pins[k]--; s.pins[k] <= 0 {
+		delete(s.pins, k)
+		if o := s.condemned[k]; o != nil {
+			delete(s.condemned, k)
+			reclaim = o
+		}
+	}
+	s.pinMu.Unlock()
+	if reclaim != nil {
+		s.deleteBlocks(reclaim)
+	}
+}
+
+// retire reclaims a replaced or deleted version's blocks — immediately
+// when no reader holds it, otherwise deferred to the last unpin so a
+// streaming read never has its snapshot's blocks deleted out from under
+// it by an overwrite.
+func (s *Store) retire(obj *objectInfo) {
+	k := verKey{obj.Name, obj.Gen}
+	s.pinMu.Lock()
+	if s.pins[k] > 0 {
+		s.condemned[k] = obj
+		s.pinMu.Unlock()
+		return
+	}
+	s.pinMu.Unlock()
+	s.deleteBlocks(obj)
+}
+
 // Delete removes an object and its blocks.
 func (s *Store) Delete(name string) error {
 	s.mu.Lock()
@@ -291,7 +394,7 @@ func (s *Store) Delete(name string) error {
 	if obj == nil {
 		return fmt.Errorf("%w: %q", ErrObjectNotFound, name)
 	}
-	s.deleteBlocks(obj)
+	s.retire(obj)
 	return nil
 }
 
@@ -427,6 +530,7 @@ func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
 	}
 	si.Nodes[pos] = node
 	si.Keys[pos] = key
+	obj.muts++
 	return true
 }
 

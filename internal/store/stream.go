@@ -2,31 +2,59 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // The streaming datapath: PutReader and GetWriter move objects through
 // the store one stripe at a time, so peak memory is O(stripe size ×
-// encode workers) no matter how large the object is — the paper's
-// multi-GB HDFS blocks fit through a laptop-sized heap. Blocks are
-// written to the backend as each stripe is encoded; the object manifest
-// is committed atomically only once the reader is exhausted, so a
-// half-streamed object is never visible and a mid-stream failure rolls
-// every written block back. Put and Get are thin wrappers over these.
+// pipeline depth) no matter how large the object is — the paper's
+// multi-GB HDFS blocks fit through a laptop-sized heap. Both directions
+// are pipelined: PutReader reads stripe N+1 from the source while stripe
+// N encodes, and writes a stripe's framed blocks to the backend through a
+// bounded worker pool; GetWriter fetches a stripe's data blocks
+// concurrently and prefetches the next stripe while the current one
+// drains to the writer. The object manifest is committed atomically only
+// once the reader is exhausted, so a half-streamed object is never
+// visible and a mid-stream failure rolls every written block back. Put
+// and Get are thin wrappers over these.
+
+// filledStripe is one stripe read from the source, in framed-block
+// layout: bufs[i] is block i's backend frame, with the payload at
+// bufs[i][4:4+BlockSize] (data blocks 0..k-1 filled from the reader,
+// parity blocks encoded in place later). n is the real payload byte
+// count; n < k·BlockSize only for the object's final stripe.
+type filledStripe struct {
+	bufs [][]byte
+	n    int
+	err  error // terminal source error (never io.EOF)
+}
 
 // PutReader stores an object streamed from r, replacing any previous
-// version once the stream completes. Each k·BlockSize chunk is encoded,
-// CRC-framed and written before the next chunk is read; the stripe
-// buffer is reused, so memory stays bounded by the stripe size while the
-// object can exceed RAM. On any error nothing is committed and all
+// version once the stream completes. The engine is double-buffered: a
+// reader goroutine fills the next stripe's framed block buffers while the
+// current stripe encodes, and each stripe's blocks go to the backend
+// through a bounded write pool. Full stripes never copy: data is read
+// directly into framed buffers, parities are encoded into framed buffers,
+// and an ownership-transferring backend (MemBackend) keeps those very
+// buffers as the stored blocks. On any error nothing is committed and all
 // blocks already written are deleted.
+//
+// After an error return the internal reader may still be inside one
+// blocked Read of r until that read unblocks (the same contract as
+// net/http request bodies): do not reuse r, and close it to release the
+// reader promptly — closing an *os.File or net.Conn interrupts the read.
+// On success the reader has always exited.
 func (s *Store) PutReader(name string, r io.Reader) error {
 	if name == "" {
 		return fmt.Errorf("store: empty object name")
 	}
 	k := s.cfg.Codec.K()
-	stripeCap := k * s.cfg.BlockSize
+	n := s.cfg.Codec.NStored()
+	bs := s.cfg.BlockSize
 	gen := s.gen.Add(1)
 	obj := &objectInfo{Name: name, Gen: gen}
 	// On any mid-stream failure, blocks already written would be orphaned
@@ -35,107 +63,315 @@ func (s *Store) PutReader(name string, r io.Reader) error {
 		s.deleteBlocks(obj)
 		return err
 	}
-	// One reusable stripe buffer: full-stripe shards alias it directly
-	// (see stripeShards), which is safe because backends must not retain
-	// Write's data after returning.
-	buf := make([]byte, stripeCap)
-	for {
-		n, err := io.ReadFull(r, buf)
-		if err == io.EOF {
-			break
-		}
-		if err != nil && err != io.ErrUnexpectedEOF {
-			return fail(fmt.Errorf("store: read object %q: %w", name, err))
-		}
-		if n > 0 {
-			if perr := s.putStripe(obj, buf[:n]); perr != nil {
-				return fail(perr)
+	owned := s.ownedW != nil
+	// Double buffer: with a copying backend two framed buffer sets cycle
+	// through the free list; with an owning backend the stored buffers
+	// are gone for good, so the reader allocates fresh sets and the
+	// fills channel's capacity bounds how far ahead it runs.
+	free := make(chan [][]byte, 2)
+	if !owned {
+		free <- makeFramedBufs(n, bs)
+		free <- makeFramedBufs(n, bs)
+	}
+	fills := make(chan filledStripe, 1)
+	stop := make(chan struct{})
+	// On exit, stop releases a fill goroutine parked on a channel; one
+	// parked inside a blocking Read keeps r until that read unblocks
+	// (see the contract in the doc comment). Joining unconditionally
+	// would instead hold a backend-write error hostage to the source's
+	// liveness — a stalled pipe could delay the put's failure forever.
+	defer close(stop)
+	go func() {
+		defer close(fills)
+		for {
+			var bufs [][]byte
+			total := 0
+			var rerr error
+			start := 0
+			if owned {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A 1-byte probe decides EOF before the stripe slab is
+				// allocated: an object sized an exact multiple of the
+				// stripe would otherwise cost one discarded multi-MiB
+				// slab on its terminal empty read.
+				var probe [1]byte
+				if _, err := io.ReadFull(r, probe[:]); err != nil {
+					f := filledStripe{}
+					if err != io.EOF {
+						f.err = err
+					}
+					select {
+					case fills <- f:
+					case <-stop:
+					}
+					return
+				}
+				bufs = makeFramedBufs(n, bs)
+				bufs[0][4] = probe[0]
+				m, err := io.ReadFull(r, bufs[0][5:4+bs])
+				total = 1 + m
+				if err != nil {
+					rerr = err
+				}
+				start = 1
+			} else {
+				select {
+				case bufs = <-free:
+				case <-stop:
+					return
+				}
 			}
-			obj.Size += n
+			for i := start; i < k && rerr == nil; i++ {
+				m, err := io.ReadFull(r, bufs[i][4:4+bs])
+				total += m
+				if err != nil {
+					rerr = err
+				}
+			}
+			f := filledStripe{bufs: bufs, n: total}
+			if rerr != nil && rerr != io.EOF && rerr != io.ErrUnexpectedEOF {
+				f.err = rerr
+			}
+			select {
+			case fills <- f:
+			case <-stop:
+				return
+			}
+			if rerr != nil {
+				return
+			}
 		}
-		if err == io.ErrUnexpectedEOF {
-			break
+	}()
+	for f := range fills {
+		if f.err != nil {
+			return fail(fmt.Errorf("store: read object %q: %w", name, f.err))
 		}
+		if f.n == 0 {
+			continue // bare EOF on a stripe boundary
+		}
+		if f.n == k*bs {
+			if err := s.putStripeFramed(obj, f.bufs); err != nil {
+				return fail(err)
+			}
+			if !owned {
+				select {
+				case free <- f.bufs:
+				default:
+				}
+			}
+		} else {
+			// Short final stripe: gather the scattered prefix into one
+			// chunk and re-frame at the shrunken block length (the layout
+			// above no longer matches). At most once per object.
+			chunk := make([]byte, f.n)
+			off := 0
+			for i := 0; i < k && off < f.n; i++ {
+				off += copy(chunk[off:], bufs4(f.bufs[i], bs))
+			}
+			if err := s.putStripeShort(obj, chunk); err != nil {
+				return fail(err)
+			}
+		}
+		obj.Size += f.n
 	}
 	s.commit(obj)
 	return nil
 }
 
-// putStripe encodes and writes one stripe, appending its manifest entry
-// to obj. chunk must be at most K·BlockSize bytes.
-func (s *Store) putStripe(obj *objectInfo, chunk []byte) error {
+// bufs4 returns the payload window of a framed block buffer.
+func bufs4(b []byte, bs int) []byte { return b[4 : 4+bs] }
+
+// makeFramedBufs allocates one slab carved into n framed block buffers
+// of payloadLen bytes each: one allocation instead of n, and safe to
+// hand to an owning backend because a stripe's blocks are always retired
+// together.
+func makeFramedBufs(n, payloadLen int) [][]byte {
+	fl := 4 + payloadLen
+	slab := make([]byte, n*fl)
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = slab[i*fl : (i+1)*fl : (i+1)*fl]
+	}
+	return bufs
+}
+
+// putStripeFramed encodes and writes one full stripe already laid out in
+// framed block buffers: parities are encoded directly into the framed
+// payload windows, CRC headers are stamped in place, and the n blocks go
+// to the backend through the bounded write pool — zero payload copies
+// inside the store.
+func (s *Store) putStripeFramed(obj *objectInfo, bufs [][]byte) error {
 	k := s.cfg.Codec.K()
-	blockLen := (len(chunk) + k - 1) / k
-	shards := stripeShards(chunk, k, blockLen)
-	stripe, err := s.cfg.Codec.Encode(shards, s.encodeWorkers(len(chunk)))
-	if err != nil {
+	n := s.cfg.Codec.NStored()
+	bs := s.cfg.BlockSize
+	data := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		data[i] = bufs4(bufs[i], bs)
+	}
+	parity := make([][]byte, n-k)
+	for j := range parity {
+		parity[j] = bufs4(bufs[k+j], bs)
+	}
+	if err := s.cfg.Codec.EncodeInto(data, parity, s.encodeWorkers(k*bs)); err != nil {
 		return err
 	}
+	return s.sealStripe(obj, bufs, k*bs, bs)
+}
+
+// sealStripe places an encoded framed stripe, appends its manifest entry
+// to obj and writes its blocks. The manifest entry goes in first, writes
+// second: a failed write then rolls back this stripe's earlier blocks too
+// (Delete of a never-written key is a no-op).
+func (s *Store) sealStripe(obj *objectInfo, bufs [][]byte, dataLen, blockLen int) error {
+	n := len(bufs)
 	seq := int(s.seq.Add(1))
 	nodes := s.placer.place(seq, s.aliveSnapshot())
 	idx := len(obj.Stripes)
 	si := stripeInfo{
 		Seq:      seq,
-		DataLen:  len(chunk),
+		DataLen:  dataLen,
 		BlockLen: blockLen,
 		Nodes:    nodes,
-		Keys:     make([]string, len(stripe)),
+		Keys:     make([]string, n),
 	}
-	for pos := range stripe {
+	for pos := 0; pos < n; pos++ {
 		si.Keys[pos] = blockKey(obj.Name, obj.Gen, idx, pos)
 	}
-	// Manifest entry first, writes second: a failed write then rolls
-	// back this stripe's earlier blocks too (Delete of a never-written
-	// key is a no-op).
 	obj.Stripes = append(obj.Stripes, si)
-	for pos, payload := range stripe {
+	for pos := 0; pos < n; pos++ {
 		if nodes[pos] < 0 {
 			return fmt.Errorf("store: no live node for stripe %d block %d", idx, pos)
 		}
-		framed := FrameBlock(payload)
-		if err := s.cfg.Backend.Write(nodes[pos], si.Keys[pos], framed); err != nil {
+	}
+	return s.writeStripeBlocks(&si, bufs, idx)
+}
+
+// writeStripeBlocks stamps each framed buffer's CRC header and writes the
+// stripe's blocks through a bounded worker pool. All writes are joined
+// before returning, so a caller that fails can roll back safely.
+func (s *Store) writeStripeBlocks(si *stripeInfo, bufs [][]byte, idx int) error {
+	n := len(bufs)
+	writeOne := func(pos int) error {
+		b := bufs[pos]
+		binary.LittleEndian.PutUint32(b, crc32.Checksum(b[4:], castagnoli))
+		var err error
+		if s.ownedW != nil {
+			err = s.ownedW.WriteOwned(si.Nodes[pos], si.Keys[pos], b)
+		} else {
+			err = s.cfg.Backend.Write(si.Nodes[pos], si.Keys[pos], b)
+		}
+		if err != nil {
 			return fmt.Errorf("store: write stripe %d block %d: %w", idx, pos, err)
 		}
 		s.m.putBlocks.Add(1)
-		s.m.putBytes.Add(int64(len(framed)))
+		s.m.putBytes.Add(int64(len(b)))
+		return nil
+	}
+	workers := s.writeWorkers(n)
+	if workers <= 1 {
+		for pos := 0; pos < n; pos++ {
+			if err := writeOne(pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				errs[pos] = writeOne(pos)
+			}
+		}()
+	}
+	for pos := 0; pos < n; pos++ {
+		jobs <- pos
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
+// putStripeShort encodes and writes one short (final) stripe: the chunk
+// is re-laid into a fresh framed slab at the shrunken block length
+// (zero-padded by the fresh allocation), then encoded and written exactly
+// like a full framed stripe. chunk must be non-empty and less than
+// K·BlockSize bytes.
+func (s *Store) putStripeShort(obj *objectInfo, chunk []byte) error {
+	k := s.cfg.Codec.K()
+	n := s.cfg.Codec.NStored()
+	blockLen := (len(chunk) + k - 1) / k
+	bufs := makeFramedBufs(n, blockLen)
+	data := make([][]byte, k)
+	parity := make([][]byte, n-k)
+	for i := 0; i < k; i++ {
+		data[i] = bufs4(bufs[i], blockLen)
+		if lo := i * blockLen; lo < len(chunk) {
+			copy(data[i], chunk[lo:])
+		}
+	}
+	for j := range parity {
+		parity[j] = bufs4(bufs[k+j], blockLen)
+	}
+	if err := s.cfg.Codec.EncodeInto(data, parity, s.encodeWorkers(len(chunk))); err != nil {
+		return err
+	}
+	return s.sealStripe(obj, bufs, len(chunk), blockLen)
+}
+
 // commit atomically publishes obj as the current version of its name and
-// reclaims the blocks of any version it replaces.
+// retires any version it replaces (reclaimed immediately, or at the last
+// unpin if a streaming read still holds it).
 func (s *Store) commit(obj *objectInfo) {
 	s.mu.Lock()
 	old := s.objects[obj.Name]
 	s.objects[obj.Name] = obj
 	s.mu.Unlock()
 	if old != nil {
-		s.deleteBlocks(old)
+		s.retire(old)
 	}
 }
 
 // GetWriter streams an object to w stripe by stripe, reconstructing
 // missing or corrupt blocks inline exactly like Get (light local decode
 // first, so a single-loss stripe still costs the r=5 read set), with
-// memory bounded by one stripe. The ReadInfo reports what the read
-// actually cost. A read racing an overwrite retries against the new
-// version only while nothing has been written to w; once bytes are out,
-// a failure is final (the writer cannot be rewound).
+// memory bounded by the two pipelined stripes. The ReadInfo reports what
+// the read actually cost. A failed attempt retries with a fresh manifest
+// snapshot while nothing has been written to w — the manifest can change
+// under a read without a generation bump when repair workers relocate
+// blocks, and with one when an overwrite lands. Once bytes are out, a
+// failure is final (the writer cannot be rewound).
 func (s *Store) GetWriter(name string, w io.Writer) (ReadInfo, error) {
 	cw := &countingWriter{w: w}
 	for attempt := 0; ; attempt++ {
+		gen0, muts0, _ := s.versionState(name)
 		info, gen, err := s.streamVersion(name, cw)
 		info.BytesWritten = cw.n
 		if err == nil || attempt >= 8 || cw.n > 0 {
 			return info, err
 		}
-		moved, found := s.versionMoved(name, gen)
+		curGen, curMuts, found := s.versionState(name)
 		if !found {
 			// Deleted mid-read: not-found is the truthful outcome.
 			return info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
 		}
-		if !moved {
-			return info, err // same version: a genuine failure
+		if curGen == gen && curGen == gen0 && curMuts == muts0 {
+			// This object's manifest never moved around the attempt:
+			// the snapshot was current and the failure is genuine.
+			return info, err
 		}
 	}
 }
@@ -143,16 +379,19 @@ func (s *Store) GetWriter(name string, w io.Writer) (ReadInfo, error) {
 // Get reads an object back, reconstructing missing or corrupt blocks
 // inline (the degraded read path: rebuilt blocks are served, not written
 // back — §1.1). The ReadInfo reports what the read actually cost. It is
-// a buffered wrapper over the streaming path, with the full
-// retry-on-overwrite loop (the buffer rewinds where an external writer
-// cannot).
+// a buffered wrapper over the streaming path, with the full retry loop
+// (the buffer rewinds where an external writer cannot).
 func (s *Store) Get(name string) ([]byte, ReadInfo, error) {
-	// A read racing an overwrite can hold a manifest whose blocks the
-	// overwrite already deleted; when that happens the object generation
-	// has moved, so retry against the new version. The cap only guards
-	// against a pathological stream of overwrites.
+	// A failed attempt can mean the manifest snapshot went stale under
+	// the read: repair workers relocate blocks without a generation
+	// bump, and an overwrite replaces the version with one. A fresh
+	// snapshot sees the current block locations, so retry — but only
+	// while manifests are actually moving (the muts counter): a failure
+	// with an unchanged manifest is genuinely lost data and retrying
+	// would just re-read every stripe to fail again.
 	var buf bytes.Buffer
 	for attempt := 0; ; attempt++ {
+		gen0, muts0, _ := s.versionState(name)
 		buf.Reset()
 		info, gen, err := s.streamVersion(name, &buf)
 		if err == nil {
@@ -162,59 +401,142 @@ func (s *Store) Get(name string) ([]byte, ReadInfo, error) {
 		if attempt >= 8 {
 			return nil, info, err
 		}
-		moved, found := s.versionMoved(name, gen)
+		curGen, curMuts, found := s.versionState(name)
 		if !found {
 			return nil, info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
 		}
-		if !moved {
+		if curGen == gen && curGen == gen0 && curMuts == muts0 {
 			return nil, info, err
 		}
 	}
 }
 
-// streamVersion performs one streaming read attempt against the object
-// version current at entry, returning that version's generation. Each
-// stripe is fetched, reconstructed if degraded, written to w and
-// dropped before the next one is touched.
-func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error) {
-	stripes, gen, ok := s.manifestSnapshot(name)
-	if !ok {
-		return ReadInfo{}, 0, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
-	}
+// fetchResult is one stripe fetched (and if necessary reconstructed) by
+// the get pipeline, with its own accounting so concurrent fetches never
+// share counters; accts merge in stripe order.
+type fetchResult struct {
+	stripe [][]byte
+	acct   readAcct
+	err    error
+}
+
+// fetchStripe reads a stripe's k data blocks — concurrently when the read
+// pool allows — into the reusable scratch slice, reconstructing whatever
+// is missing or corrupt. scratch entries are cleared first, so a recycled
+// slice never leaks a previous stripe's payloads.
+func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 	k := s.cfg.Codec.K()
 	n := s.cfg.Codec.NStored()
-	acct := &readAcct{}
-	for i := range stripes {
-		si := &stripes[i]
-		stripe := make([][]byte, n)
-		avail := make([]bool, n)
-		for pos := 0; pos < n; pos++ {
-			avail[pos] = s.Alive(si.Nodes[pos])
-		}
-		var missing []int
+	for i := range scratch {
+		scratch[i] = nil
+	}
+	res := fetchResult{stripe: scratch}
+	avail := make([]bool, n)
+	for pos := 0; pos < n; pos++ {
+		avail[pos] = s.Alive(si.Nodes[pos])
+	}
+	var missing []int
+	workers := s.readWorkers(k)
+	if workers <= 1 {
 		for pos := 0; pos < k; pos++ {
-			p, err := s.readBlockPayload(si, pos, acct)
+			p, err := s.readBlockPayload(si, pos, &res.acct)
 			if err != nil {
 				avail[pos] = false
 				missing = append(missing, pos)
 				continue
 			}
-			stripe[pos] = p
+			scratch[pos] = p
 		}
-		if len(missing) > 0 {
-			acct.degraded = true
-			if err := s.reconstructPositions(si, stripe, missing, avail, acct); err != nil {
-				s.m.mergeRead(acct)
-				return acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, i, err)
+	} else {
+		errs := make([]error, k)
+		accts := make([]readAcct, workers)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for pos := range jobs {
+					scratch[pos], errs[pos] = s.readBlockPayload(si, pos, &accts[w])
+				}
+			}(w)
+		}
+		for pos := 0; pos < k; pos++ {
+			jobs <- pos
+		}
+		close(jobs)
+		wg.Wait()
+		for w := range accts {
+			res.acct.add(&accts[w])
+		}
+		for pos := 0; pos < k; pos++ {
+			if errs[pos] != nil {
+				scratch[pos] = nil
+				avail[pos] = false
+				missing = append(missing, pos)
 			}
 		}
+	}
+	if len(missing) > 0 {
+		res.acct.degraded = true
+		if err := s.reconstructPositions(si, scratch, missing, avail, &res.acct); err != nil {
+			res.err = err
+		}
+	}
+	return res
+}
+
+// streamVersion performs one streaming read attempt against the object
+// version current at entry, returning that version's generation. The
+// stripe pipeline is one deep: while stripe i drains to w, stripe i+1 is
+// already being fetched into the other of two scratch slices that
+// ping-pong for the whole read (the only per-stripe state).
+func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error) {
+	stripes, gen, ok := s.manifestSnapshot(name)
+	if !ok {
+		return ReadInfo{}, 0, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	// The snapshot pinned this version (see manifestSnapshot); hold the
+	// pin for the whole read so an overwrite cannot reclaim the blocks
+	// under us, and release it whichever way the read ends.
+	defer s.unpin(name, gen)
+	k := s.cfg.Codec.K()
+	n := s.cfg.Codec.NStored()
+	acct := &readAcct{}
+	scratch := [2][][]byte{make([][]byte, n), make([][]byte, n)}
+	startFetch := func(i int) chan fetchResult {
+		ch := make(chan fetchResult, 1)
+		go func() {
+			ch <- s.fetchStripe(&stripes[i], scratch[i%2])
+		}()
+		return ch
+	}
+	var pending chan fetchResult
+	if len(stripes) > 0 {
+		pending = startFetch(0)
+	}
+	for i := range stripes {
+		res := <-pending
+		pending = nil
+		acct.add(&res.acct)
+		if res.err != nil {
+			s.m.mergeRead(acct)
+			return acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, i, res.err)
+		}
+		if i+1 < len(stripes) {
+			pending = startFetch(i + 1)
+		}
+		si := &stripes[i]
 		remaining := si.DataLen
 		for pos := 0; pos < k && remaining > 0; pos++ {
-			part := stripe[pos]
+			part := res.stripe[pos]
 			if len(part) > remaining {
 				part = part[:remaining]
 			}
 			if _, err := w.Write(part); err != nil {
+				if pending != nil {
+					<-pending // join the prefetch; its reads are uncharged on this failure path
+				}
 				s.m.mergeRead(acct)
 				return acct.info(), gen, fmt.Errorf("store: write object %q: %w", name, err)
 			}
@@ -225,9 +547,11 @@ func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error)
 	return acct.info(), gen, nil
 }
 
-// manifestSnapshot copies an object's stripe manifest under the lock:
-// repair workers relocate blocks (mutating Nodes/Keys) concurrently with
-// reads.
+// manifestSnapshot copies an object's stripe manifest under the lock
+// (repair workers relocate blocks, mutating Nodes/Keys, concurrently with
+// reads) and pins the version: commit needs s.mu exclusively, so the pin
+// is atomic with the lookup and a racing overwrite is guaranteed to see
+// it when it retires this version. The caller owns one unpin on ok=true.
 func (s *Store) manifestSnapshot(name string) ([]stripeInfo, int64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -241,19 +565,23 @@ func (s *Store) manifestSnapshot(name string) ([]stripeInfo, int64, bool) {
 		si.Keys = append([]string(nil), si.Keys...)
 		stripes[i] = si
 	}
+	s.pin(name, obj.Gen)
 	return stripes, obj.Gen, true
 }
 
-// versionMoved reports whether name's stored generation differs from gen
-// (the read raced an overwrite), and whether the object still exists.
-func (s *Store) versionMoved(name string, gen int64) (moved, found bool) {
+// versionState returns name's current generation and in-place mutation
+// count (repair relocations), and whether the object exists. A read
+// whose attempt failed retries only when this pair has moved: gen
+// changes on overwrite, muts on relocation, and an unchanged pair means
+// the failed snapshot was current — genuine data loss, not staleness.
+func (s *Store) versionState(name string) (gen, muts int64, found bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	obj := s.objects[name]
 	if obj == nil {
-		return false, false
+		return 0, 0, false
 	}
-	return obj.Gen != gen, true
+	return obj.Gen, obj.muts, true
 }
 
 // countingWriter tracks how many bytes reached the underlying writer, so
