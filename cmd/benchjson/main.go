@@ -11,10 +11,14 @@
 // ignored.
 //
 // With -compare old.json the run is additionally diffed against a prior
-// converted document: any benchmark present in both whose ns/op grew by
-// more than -threshold percent is reported on stderr and the process
-// exits 2 — distinct from exit 1 for tool errors (unreadable input,
-// bad baseline) — so CI can tell a perf regression from a broken run.
+// converted document: any benchmark present in both whose ns/op grew, or
+// whose MB/s shrank, by more than -threshold percent is reported on
+// stderr and the process exits 2 — distinct from exit 1 for tool errors
+// (unreadable input, bad baseline) — so CI can tell a perf regression
+// from a broken run. MB/s is checked because the repair and stream
+// benchmarks are throughput-denominated: a repair that rebuilds fewer
+// bytes per second is a regression even if its ns/op (dominated by the
+// fixed per-op setup) held steady.
 package main
 
 import (
@@ -89,8 +93,9 @@ func main() {
 	}
 }
 
-// compare diffs ns/op against a prior document, reporting every shared
-// benchmark that slowed down by more than threshold percent. Benchmarks
+// compare diffs ns/op (growth is bad) and MB/s (shrinkage is bad)
+// against a prior document, reporting every shared benchmark that moved
+// by more than threshold percent in the bad direction. Benchmarks
 // present on only one side are ignored — adding or retiring a benchmark
 // is not a regression.
 func compare(path string, cur Doc, threshold float64) (regressed bool, err error) {
@@ -102,56 +107,70 @@ func compare(path string, cur Doc, threshold float64) (regressed bool, err error
 	if err := json.Unmarshal(blob, &old); err != nil {
 		return false, fmt.Errorf("parse %s: %w", path, err)
 	}
-	// Index the baseline by both its verbatim names and, where
-	// unambiguous, the -GOMAXPROCS-stripped form, so runs from machines
-	// with different core counts (Go omits the suffix at GOMAXPROCS=1)
-	// still pair up. Exact matches always win; a stripped key that would
-	// collide with a real name is never added, and the stripped fallback
-	// is skipped when the current run itself has a benchmark with that
-	// exact name (the stripped form then belongs to a different bench).
-	base := make(map[string]float64, len(old.Benchmarks))
-	for _, b := range old.Benchmarks {
-		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
-			base[b.Name] = ns
-		}
-	}
-	for _, b := range old.Benchmarks {
-		ns, ok := b.Metrics["ns/op"]
-		if !ok || ns <= 0 {
-			continue
-		}
-		if s := stripProcSuffix(b.Name); s != b.Name {
-			if _, taken := base[s]; !taken {
-				base[s] = ns
-			}
-		}
-	}
 	curNames := make(map[string]bool, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
 		curNames[b.Name] = true
 	}
-	for _, b := range cur.Benchmarks {
-		ns, ok := b.Metrics["ns/op"]
-		if !ok {
-			continue
-		}
-		oldNs, shared := base[b.Name]
-		if !shared {
-			if s := stripProcSuffix(b.Name); s != b.Name && !curNames[s] {
-				oldNs, shared = base[s]
+	for _, m := range []struct {
+		unit string
+		// worse computes the percent moved in the bad direction.
+		worse func(old, new float64) float64
+	}{
+		{"ns/op", func(old, new float64) float64 { return (new - old) / old * 100 }},
+		{"MB/s", func(old, new float64) float64 { return (old - new) / old * 100 }},
+	} {
+		base := indexMetric(old, m.unit)
+		for _, b := range cur.Benchmarks {
+			v, ok := b.Metrics[m.unit]
+			if !ok {
+				continue
 			}
-		}
-		if !shared {
-			continue
-		}
-		growth := (ns - oldNs) / oldNs * 100
-		if growth > threshold {
-			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op -> %.0f ns/op (+%.1f%% > %.0f%%)\n",
-				b.Name, oldNs, ns, growth, threshold)
-			regressed = true
+			oldV, shared := base[b.Name]
+			if !shared {
+				if s := stripProcSuffix(b.Name); s != b.Name && !curNames[s] {
+					oldV, shared = base[s]
+				}
+			}
+			if !shared {
+				continue
+			}
+			if worse := m.worse(oldV, v); worse > threshold {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f %s -> %.1f %s (%.1f%% worse > %.0f%%)\n",
+					b.Name, oldV, m.unit, v, m.unit, worse, threshold)
+				regressed = true
+			}
 		}
 	}
 	return regressed, nil
+}
+
+// indexMetric maps the baseline's benchmark names — verbatim and, where
+// unambiguous, with the -GOMAXPROCS suffix stripped, so runs from
+// machines with different core counts (Go omits the suffix at
+// GOMAXPROCS=1) still pair up — to their value of the given metric.
+// Exact matches always win; a stripped key that would collide with a
+// real name is never added, and compare skips the stripped fallback when
+// the current run itself has a benchmark with that exact name (the
+// stripped form then belongs to a different bench).
+func indexMetric(old Doc, unit string) map[string]float64 {
+	base := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if v, ok := b.Metrics[unit]; ok && v > 0 {
+			base[b.Name] = v
+		}
+	}
+	for _, b := range old.Benchmarks {
+		v, ok := b.Metrics[unit]
+		if !ok || v <= 0 {
+			continue
+		}
+		if s := stripProcSuffix(b.Name); s != b.Name {
+			if _, taken := base[s]; !taken {
+				base[s] = v
+			}
+		}
+	}
+	return base
 }
 
 // stripProcSuffix removes a trailing -<integer> (the GOMAXPROCS suffix

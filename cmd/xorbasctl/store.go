@@ -17,8 +17,17 @@ package main
 //	xorbasctl store kill-node  -dir DIR -node N
 //	xorbasctl store revive-node -dir DIR -node N
 //	xorbasctl store corrupt    -dir DIR -name NAME [-stripe I] [-block-idx J] [-silent]
-//	xorbasctl store scrub      -dir DIR [-workers W]
+//	xorbasctl store scrub      -dir DIR [-workers W] [-scrub-rate B] [-repair-rate B]
+//	xorbasctl store repair-drain -dir DIR [-workers W] [-repair-rate B]
 //	xorbasctl store stats      -dir DIR
+//
+// scrub is the full integrity walk (every block read and CRC-checked,
+// syndromes scanned) followed by a drain of the repair queue;
+// repair-drain skips the reads and repairs node-loss damage straight
+// from the manifests — kill-node then repair-drain is the fast path a
+// real fixer takes on a dead DataNode. Both print the repair throughput;
+// -scrub-rate / -repair-rate bound the background read rates in
+// bytes/sec (0 = unlimited), the paper's bounded fixer load.
 
 import (
 	"encoding/json"
@@ -42,7 +51,7 @@ func mbps(bytes int64, d time.Duration) string {
 }
 
 func storeUsage() {
-	fmt.Fprintln(os.Stderr, "usage: xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|repair-drain|stats [flags]")
 	os.Exit(2)
 }
 
@@ -64,7 +73,9 @@ func storeMain(args []string) error {
 	stripeIdx := fs.Int("stripe", 0, "stripe index (corrupt)")
 	blockIdx := fs.Int("block-idx", 0, "stripe position (corrupt)")
 	silent := fs.Bool("silent", false, "corrupt with a valid checksum, so only the group syndrome catches it")
-	workers := fs.Int("workers", 2, "repair worker pool size (scrub)")
+	workers := fs.Int("workers", 2, "repair worker pool size (scrub / repair-drain)")
+	repairRate := fs.Int64("repair-rate", 0, "repair read budget in bytes/sec, 0 = unlimited (scrub / repair-drain)")
+	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget in bytes/sec, 0 = unlimited (scrub)")
 	stream := fs.Bool("stream", false, "stream stripe-by-stripe with bounded memory (put/get; '-' = stdin/stdout)")
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
@@ -84,7 +95,9 @@ func storeMain(args []string) error {
 	case "corrupt":
 		return storeCorrupt(*dir, *name, *stripeIdx, *blockIdx, *silent)
 	case "scrub":
-		return storeScrub(*dir, *workers)
+		return storeScrub(*dir, *workers, *scrubRate, *repairRate)
+	case "repair-drain":
+		return storeRepairDrain(*dir, *workers, *repairRate)
 	case "stats":
 		return storeStats(*dir)
 	default:
@@ -110,6 +123,12 @@ func codecByName(n string) (store.Codec, error) {
 // openStore loads an existing on-disk store, inferring the codec from the
 // saved state.
 func openStore(dir string) (*store.Store, error) {
+	return openStoreRates(dir, 0, 0)
+}
+
+// openStoreRates is openStore with read-rate budgets for the background
+// datapaths (bytes/sec, 0 = unlimited).
+func openStoreRates(dir string, repairRate, scrubRate int64) (*store.Store, error) {
 	blob, err := os.ReadFile(storeStatePath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
@@ -128,7 +147,12 @@ func openStore(dir string) (*store.Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return store.Restore(store.Config{Codec: codec, Backend: be}, blob)
+	return store.Restore(store.Config{
+		Codec:           codec,
+		Backend:         be,
+		RepairRateBytes: repairRate,
+		ScrubRateBytes:  scrubRate,
+	}, blob)
 }
 
 // saveStore writes the store's metadata back to disk.
@@ -341,22 +365,53 @@ func storeCorrupt(dir, name string, stripe, pos int, silent bool) error {
 	return nil
 }
 
-func storeScrub(dir string, workers int) error {
-	s, err := openStore(dir)
+func storeScrub(dir string, workers int, scrubRate, repairRate int64) error {
+	s, err := openStoreRates(dir, repairRate, scrubRate)
 	if err != nil {
 		return err
 	}
 	rm := store.NewRepairManager(s, workers)
 	rm.Start()
 	sc := store.NewScrubber(s, rm, 0)
+	start := time.Now()
 	rep := sc.ScrubOnce()
 	rm.Drain()
 	rm.Stop()
+	elapsed := time.Since(start)
 	m := s.Metrics()
-	fmt.Printf("scrub: %d stripes checked, %d missing + %d corrupt blocks found\n",
-		rep.Stripes, rep.Missing, rep.Corrupt)
-	fmt.Printf("repair: %d blocks rebuilt (%d light / %d heavy), %d blocks / %d bytes read\n",
-		m.RepairedBlocks, m.RepairsLight, m.RepairsHeavy, m.RepairBlocksRead, m.RepairBytesRead)
+	fmt.Printf("scrub: %d stripes checked (%d blocks / %d bytes read), %d missing + %d corrupt blocks found, %d stripes enqueued\n",
+		rep.Stripes, m.ScrubBlocksRead, m.ScrubBytesRead, rep.Missing, rep.Corrupt, rep.Enqueued)
+	fmt.Printf("repair: %d blocks / %d bytes rebuilt (%d light / %d heavy), %d blocks / %d bytes read, in %v (%s repaired)\n",
+		m.RepairedBlocks, m.RepairedBytes, m.RepairsLight, m.RepairsHeavy,
+		m.RepairBlocksRead, m.RepairBytesRead,
+		elapsed.Round(time.Millisecond), mbps(m.RepairedBytes, elapsed))
+	return saveStore(dir, s)
+}
+
+// storeRepairDrain repairs node-loss damage from the manifests alone: a
+// presence walk (no reads, no CRC work) feeds the queue, then the worker
+// pool drains it. The per-invocation barrier a kill-node workflow needs,
+// without paying for a full integrity walk.
+func storeRepairDrain(dir string, workers int, repairRate int64) error {
+	s, err := openStoreRates(dir, repairRate, 0)
+	if err != nil {
+		return err
+	}
+	rm := store.NewRepairManager(s, workers)
+	rm.Start()
+	sc := store.NewScrubber(s, rm, 0)
+	start := time.Now()
+	rep := sc.ScrubPresence()
+	rm.Drain()
+	rm.Stop()
+	elapsed := time.Since(start)
+	m := s.Metrics()
+	fmt.Printf("repair-drain: %d stripes walked, %d blocks on dead nodes, %d stripes enqueued\n",
+		rep.Stripes, rep.Missing, rep.Enqueued)
+	fmt.Printf("repair: %d blocks / %d bytes rebuilt (%d light / %d heavy), %d blocks / %d bytes read, in %v (%s repaired)\n",
+		m.RepairedBlocks, m.RepairedBytes, m.RepairsLight, m.RepairsHeavy,
+		m.RepairBlocksRead, m.RepairBytesRead,
+		elapsed.Round(time.Millisecond), mbps(m.RepairedBytes, elapsed))
 	return saveStore(dir, s)
 }
 

@@ -159,21 +159,105 @@ func (f *Field) mulAdd2(c1, c2 Elem, dst, a, b []byte) {
 
 // xorIntoSlices sets dst = srcs[0] ^ srcs[1] ^ … word-wise, overwriting
 // dst: the whole arithmetic of a local parity column, with dst written
-// once for the entire group instead of once per member.
+// once for the entire group instead of once per member. Arities up to
+// five — the Xorbas light recipe reads exactly five blocks, the decode
+// hot path — get fixed-shape kernels whose slice bases stay in
+// registers; wider sets peel five sources at a time.
 func xorIntoSlices(dst []byte, srcs [][]byte) {
+	switch len(srcs) {
+	case 1:
+		copy(dst, srcs[0])
+	case 2:
+		xor2(dst, srcs[0], srcs[1])
+	case 3:
+		xor3(dst, srcs[0], srcs[1], srcs[2])
+	case 4:
+		xor4(dst, srcs[0], srcs[1], srcs[2], srcs[3])
+	case 5:
+		xor5(dst, srcs[0], srcs[1], srcs[2], srcs[3], srcs[4])
+	default:
+		xor5(dst, srcs[0], srcs[1], srcs[2], srcs[3], srcs[4])
+		rest := srcs[5:]
+		for len(rest) >= 5 {
+			xor5in(dst, rest[0], rest[1], rest[2], rest[3], rest[4])
+			rest = rest[5:]
+		}
+		for _, s := range rest {
+			XORSlice(dst, s)
+		}
+	}
+}
+
+// xor2..xor5 overwrite dst with the word-wise XOR of their sources; the
+// fixed arity lets the compiler hoist every bounds check out of the loop.
+func xor2(dst, a, b []byte) {
 	n := len(dst) &^ 7
 	for i := 0; i < n; i += 8 {
-		w := binary.LittleEndian.Uint64(srcs[0][i:])
-		for _, s := range srcs[1:] {
-			w ^= binary.LittleEndian.Uint64(s[i:])
-		}
-		binary.LittleEndian.PutUint64(dst[i:], w)
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
 	}
 	for i := n; i < len(dst); i++ {
-		v := srcs[0][i]
-		for _, s := range srcs[1:] {
-			v ^= s[i]
-		}
-		dst[i] = v
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+func xor3(dst, a, b, c []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:])^
+				binary.LittleEndian.Uint64(c[i:]))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i] ^ c[i]
+	}
+}
+
+func xor4(dst, a, b, c, d []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:])^
+				binary.LittleEndian.Uint64(c[i:])^binary.LittleEndian.Uint64(d[i:]))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i] ^ c[i] ^ d[i]
+	}
+}
+
+func xor5(dst, a, b, c, d, e []byte) {
+	// Two words per iteration: the ten loads are independent, and halving
+	// the loop overhead matters — this is the busiest kernel of a light
+	// repair (five sources, one pass). Equal-length reslicing lets the
+	// compiler drop the per-load bounds checks.
+	a, b, c, d, e = a[:len(dst)], b[:len(dst)], c[:len(dst)], d[:len(dst)], e[:len(dst)]
+	n := len(dst) &^ 15
+	for i := 0; i < n; i += 16 {
+		w0 := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]) ^
+			binary.LittleEndian.Uint64(c[i:]) ^ binary.LittleEndian.Uint64(d[i:]) ^
+			binary.LittleEndian.Uint64(e[i:])
+		w1 := binary.LittleEndian.Uint64(a[i+8:]) ^ binary.LittleEndian.Uint64(b[i+8:]) ^
+			binary.LittleEndian.Uint64(c[i+8:]) ^ binary.LittleEndian.Uint64(d[i+8:]) ^
+			binary.LittleEndian.Uint64(e[i+8:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+8:], w1)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i] ^ c[i] ^ d[i] ^ e[i]
+	}
+}
+
+// xor5in accumulates five more sources into dst (dst ^= a^b^c^d^e).
+func xor5in(dst, a, b, c, d, e []byte) {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^
+				binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:])^
+				binary.LittleEndian.Uint64(c[i:])^binary.LittleEndian.Uint64(d[i:])^
+				binary.LittleEndian.Uint64(e[i:]))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i] ^ e[i]
 	}
 }

@@ -214,3 +214,38 @@ func TestDotSlicesMatchesNaive(t *testing.T) {
 		}
 	}
 }
+
+// TestXORIntoSlicesAllArities pins the fixed-arity xor2..xor5 kernels
+// and the wide-arity peeling fallback (xor5 + xor5in + XORSlice tail)
+// byte-identical to a naive reference for 1..13 sources across every
+// word/tail length split. Arity ≥ 6 is reachable from an all-ones
+// DotSlices heavy-decode vector, and only this path runs xor5in.
+func TestXORIntoSlicesAllArities(t *testing.T) {
+	f := MustNew(8)
+	rng := rand.New(rand.NewSource(107))
+	for arity := 1; arity <= 13; arity++ {
+		coeffs := make([]Elem, arity)
+		for j := range coeffs {
+			coeffs[j] = 1
+		}
+		for _, n := range kernelLens {
+			srcs := make([][]byte, arity)
+			for j := range srcs {
+				srcs[j] = make([]byte, n)
+				rng.Read(srcs[j])
+			}
+			want := make([]byte, n)
+			for _, s := range srcs {
+				for i := range want {
+					want[i] ^= s[i]
+				}
+			}
+			got := make([]byte, n)
+			rng.Read(got) // stale contents must be overwritten
+			f.DotSlices(coeffs, got, srcs)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("arity %d len %d: all-ones DotSlices mismatch", arity, n)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/gf"
+	"repro/internal/matrix"
 )
 
 // Encode computes the full stored stripe for K data shards: the data,
@@ -201,6 +202,227 @@ func (c *Code) ReconstructBlock(stripe [][]byte, i int) (payload []byte, light b
 		c.f.MulAddSlice(c.gen.At(r, i), out, data[r])
 	}
 	return out, false, nil
+}
+
+// ReconstructMany rebuilds the payloads of the requested stored blocks in
+// one batched pass: light recipes first — iterated to fixpoint, so a
+// rebuilt block can unlock another's recipe (two losses chained through
+// the implied parity group) — then a single heavy solve shared by every
+// remaining position. Repairing m losses costs one plan/decode pass
+// through the word-wise XOR and fused table kernels instead of m full
+// O(k²) stripe decodes. The input stripe is not modified.
+//
+// payloads is aligned with positions; a nil entry means that block could
+// not be rebuilt. light[i] reports whether the light decoder rebuilt
+// payloads[i]. err is non-nil when any position failed, but the
+// rebuildable payloads are still returned — the partial progress a
+// repair worker persists on an unrecoverable stripe.
+func (c *Code) ReconstructMany(stripe [][]byte, positions []int) (payloads [][]byte, light []bool, err error) {
+	if len(stripe) != c.nStored {
+		return nil, nil, fmt.Errorf("lrc: got %d stripe entries, want %d", len(stripe), c.nStored)
+	}
+	size := -1
+	for _, s := range stripe {
+		if s != nil {
+			size = len(s)
+			break
+		}
+	}
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("lrc: empty stripe")
+	}
+	dst := make([][]byte, len(positions))
+	for oi := range dst {
+		dst[oi] = make([]byte, size)
+	}
+	filled, light, err := c.ReconstructManyInto(stripe, positions, dst)
+	if filled == nil {
+		return nil, nil, err
+	}
+	for oi, ok := range filled {
+		if !ok {
+			dst[oi] = nil
+		}
+	}
+	return dst, light, err
+}
+
+// ReconstructManyInto is ReconstructMany decoding into the caller's
+// buffers: dst is aligned with positions, each entry sized to the
+// stripe's shard length; stale contents are overwritten, never read.
+// filled[i] reports whether dst[i] now holds the rebuilt payload (the
+// partial-progress signal — buffers cannot be nil'd the way
+// ReconstructMany's payloads can). Rebuilt buffers may be read as
+// sources for chained light repairs, so dst entries must not alias each
+// other or the stripe. The store's repair engine decodes straight into
+// reusable framed block slabs through this.
+func (c *Code) ReconstructManyInto(stripe [][]byte, positions []int, dst [][]byte) (filled, light []bool, err error) {
+	if len(stripe) != c.nStored {
+		return nil, nil, fmt.Errorf("lrc: got %d stripe entries, want %d", len(stripe), c.nStored)
+	}
+	if len(dst) != len(positions) {
+		return nil, nil, fmt.Errorf("lrc: got %d dst buffers, want %d", len(dst), len(positions))
+	}
+	work := make([][]byte, c.nStored)
+	copy(work, stripe)
+	filled = make([]bool, len(positions))
+	light = make([]bool, len(positions))
+	remaining := 0
+	for oi, p := range positions {
+		if p < 0 || p >= c.nStored {
+			return nil, nil, fmt.Errorf("lrc: position %d out of range [0,%d)", p, c.nStored)
+		}
+		if work[p] != nil {
+			if len(dst[oi]) != len(work[p]) {
+				return nil, nil, fmt.Errorf("lrc: dst buffer %d has size %d, want %d", oi, len(dst[oi]), len(work[p]))
+			}
+			copy(dst[oi], work[p])
+			filled[oi] = true
+			light[oi] = true
+		} else {
+			remaining++
+		}
+	}
+	// Light fixpoint over the requested positions: rebuilding one block
+	// can unlock another's recipe (losses chained through the implied
+	// parity group).
+	for remaining > 0 {
+		progressed := false
+		for oi, p := range positions {
+			if filled[oi] {
+				continue
+			}
+			r := c.recipeCache[p]
+			if r == nil {
+				continue
+			}
+			size := -1
+			ready := true
+			for _, j := range r.reads {
+				if work[j] == nil {
+					ready = false
+					break
+				}
+				size = len(work[j])
+			}
+			if !ready || size <= 0 {
+				continue
+			}
+			if len(dst[oi]) != size {
+				return nil, nil, fmt.Errorf("lrc: dst buffer %d has size %d, want %d", oi, len(dst[oi]), size)
+			}
+			srcs := make([][]byte, len(r.reads))
+			for jj, j := range r.reads {
+				srcs[jj] = work[j]
+			}
+			c.f.DotSlices(r.coefs, dst[oi], srcs)
+			work[p] = dst[oi]
+			filled[oi] = true
+			light[oi] = true
+			progressed = true
+			remaining--
+		}
+		if !progressed {
+			break
+		}
+	}
+	if remaining == 0 {
+		return filled, light, nil
+	}
+	// One shared heavy solve for whatever is left. work already holds the
+	// light-pass results, so they count toward the decoder's rank.
+	var rest []int
+	var restDst [][]byte
+	for oi, p := range positions {
+		if !filled[oi] {
+			rest = append(rest, p)
+			restDst = append(restDst, dst[oi])
+		}
+	}
+	if err := c.solveColsInto(work, rest, restDst); err != nil {
+		return filled, light, err
+	}
+	for oi := range positions {
+		if !filled[oi] {
+			filled[oi] = true
+		}
+	}
+	return filled, light, nil
+}
+
+// solveColsInto runs the heavy decoder for the requested positions with
+// one fused pass per target: the decode vector d_t[j] =
+// Σ_i inv[j,i]·G[i,t] collapses the data solve and the column re-encode
+// into a single slice combination over the k chosen survivors, and the
+// inverse is cached per survivor pattern. dst entries are overwritten.
+func (c *Code) solveColsInto(stripe [][]byte, positions []int, dst [][]byte) error {
+	k := c.params.K
+	var avail []int
+	size := -1
+	for i, s := range stripe {
+		if s == nil {
+			continue
+		}
+		avail = append(avail, i)
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("lrc: shard size mismatch at %d", i)
+		}
+	}
+	if size <= 0 {
+		return fmt.Errorf("lrc: empty stripe")
+	}
+	for oi := range dst {
+		if len(dst[oi]) != size {
+			return fmt.Errorf("lrc: dst buffer %d has size %d, want %d", oi, len(dst[oi]), size)
+		}
+	}
+	chosen := c.independentSubset(avail)
+	if len(chosen) < k {
+		return fmt.Errorf("lrc: unrecoverable: available blocks have rank %d < %d", len(chosen), k)
+	}
+	cacheable := c.nStored <= 256
+	var key colKey
+	var inv *matrix.Matrix
+	if cacheable {
+		key = keyOf(chosen)
+		if v, ok := c.invCache.Load(key); ok {
+			inv = v.(*matrix.Matrix)
+		}
+	}
+	if inv == nil {
+		sub := c.gen.SelectCols(chosen)
+		var err error
+		inv, err = sub.Inverse()
+		if err != nil {
+			return fmt.Errorf("lrc: internal: chosen columns singular: %w", err)
+		}
+		if cacheable {
+			c.invCache.Store(key, inv)
+		}
+	}
+	srcs := make([][]byte, k)
+	for j, cj := range chosen {
+		srcs[j] = stripe[cj]
+	}
+	coef := make([]gf.Elem, k)
+	for oi, t := range positions {
+		for j := 0; j < k; j++ {
+			if t < k {
+				// Systematic data column: G[i,t] = δ_it.
+				coef[j] = inv.At(j, t)
+				continue
+			}
+			var acc gf.Elem
+			for i := 0; i < k; i++ {
+				acc = c.f.Add(acc, c.f.Mul(inv.At(j, i), c.gen.At(i, t)))
+			}
+			coef[j] = acc
+		}
+		c.f.DotSlices(coef, dst[oi], srcs)
+	}
+	return nil
 }
 
 // Reconstruct fills every nil entry of the stripe in place, using the

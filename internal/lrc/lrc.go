@@ -137,6 +137,23 @@ type Code struct {
 	// to concurrent encoders.
 	wideOnce sync.Once
 	wide     []*gf.WideTables
+	// invCache memoizes the heavy decoder's inverse per chosen-column
+	// set: steady-state repair of a dead node hits the same erasure
+	// pattern across thousands of stripes, so the O(k³) solve happens
+	// once per pattern. Keys are 256-bit column bitsets; a real repair
+	// run sees only dozens of distinct patterns.
+	invCache sync.Map // colKey -> *matrix.Matrix
+}
+
+// colKey is a bitset over the code's stored-block indices (≤256).
+type colKey [4]uint64
+
+func keyOf(cols []int) colKey {
+	var k colKey
+	for _, c := range cols {
+		k[c>>6] |= 1 << (uint(c) & 63)
+	}
+	return k
 }
 
 // wideTables returns the lane-packed encode tables, building them on

@@ -1,0 +1,152 @@
+package lrc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// encodeFull builds a full Xorbas stripe of random payloads.
+func encodeFull(t *testing.T, c *Code, seed int64, size int) [][]byte {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	stripe, err := c.Encode(randData(r, c.K(), size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stripe
+}
+
+// TestReconstructManyPatterns checks the batched decoder against the
+// per-block reference across light, chained-light, same-group heavy and
+// mixed patterns.
+func TestReconstructManyPatterns(t *testing.T) {
+	c := NewXorbas()
+	full := encodeFull(t, c, 51, 80)
+	cases := []struct {
+		name      string
+		lost      []int
+		wantLight []bool
+	}{
+		{"single data (light)", []int{0}, []bool{true}},
+		{"local parity (light)", []int{14}, []bool{true}},
+		{"two groups (both light)", []int{0, 7}, []bool{true, true}},
+		{"same group (heavy)", []int{0, 1}, []bool{false, false}},
+		// Global parity 10's recipe reads S1; rebuilding S1 first unlocks
+		// it — the light fixpoint must chain.
+		{"chained through local parity", []int{10, 14}, []bool{true, true}},
+		{"three losses mixed", []int{0, 5, 10}, []bool{true, true, true}},
+		{"four losses", []int{0, 1, 5, 11}, []bool{false, false, true, true}},
+	}
+	for _, tc := range cases {
+		work := make([][]byte, len(full))
+		copy(work, full)
+		for _, i := range tc.lost {
+			work[i] = nil
+		}
+		payloads, light, err := c.ReconstructMany(work, tc.lost)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for oi, i := range tc.lost {
+			if !bytes.Equal(payloads[oi], full[i]) {
+				t.Fatalf("%s: position %d mismatch", tc.name, i)
+			}
+			if light[oi] != tc.wantLight[oi] {
+				t.Fatalf("%s: position %d light=%v, want %v", tc.name, i, light[oi], tc.wantLight[oi])
+			}
+		}
+		for i, s := range work {
+			if s != nil && !bytes.Equal(s, full[i]) {
+				t.Fatalf("%s: input stripe mutated at %d", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestReconstructManyAgainstReference cross-checks random erasure
+// patterns against ReconstructBlock block by block.
+func TestReconstructManyAgainstReference(t *testing.T) {
+	c := NewXorbas()
+	full := encodeFull(t, c, 52, 64)
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		e := 1 + r.Intn(4)
+		lost := r.Perm(c.NStored())[:e]
+		work := make([][]byte, len(full))
+		copy(work, full)
+		for _, i := range lost {
+			work[i] = nil
+		}
+		payloads, _, err := c.ReconstructMany(work, lost)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, lost, err)
+		}
+		for oi, i := range lost {
+			if !bytes.Equal(payloads[oi], full[i]) {
+				t.Fatalf("trial %d: position %d mismatch (lost %v)", trial, i, lost)
+			}
+		}
+	}
+}
+
+// TestReconstructManyPartialProgress: on an unrecoverable stripe the
+// positions that still have a light repair are returned, the rest are
+// nil, and an error reports the failure — the contract the store's
+// repair worker relies on to persist partial progress.
+func TestReconstructManyPartialProgress(t *testing.T) {
+	c := NewXorbas()
+	full := encodeFull(t, c, 54, 48)
+	// Erase all of group 2 (data 5..9 plus its local parity 15): fatal.
+	// Block 0 is additionally lost but light-repairable from 1..4 + S1.
+	lost := []int{0, 5, 6, 7, 8, 9, 15}
+	work := make([][]byte, len(full))
+	copy(work, full)
+	for _, i := range lost {
+		work[i] = nil
+	}
+	payloads, light, err := c.ReconstructMany(work, lost)
+	if err == nil {
+		t.Fatal("want error for an unrecoverable stripe")
+	}
+	if payloads == nil {
+		t.Fatal("partial payloads missing")
+	}
+	if !bytes.Equal(payloads[0], full[0]) || !light[0] {
+		t.Fatal("light-repairable block 0 not rebuilt")
+	}
+	for oi := 1; oi < len(lost); oi++ {
+		if payloads[oi] != nil {
+			t.Fatalf("unrecoverable position %d unexpectedly rebuilt", lost[oi])
+		}
+	}
+}
+
+// TestReconstructManyInto: the zero-allocation variant fills dirty
+// caller buffers and reports per-position success.
+func TestReconstructManyInto(t *testing.T) {
+	c := NewXorbas()
+	full := encodeFull(t, c, 55, 72)
+	lost := []int{3, 12}
+	work := make([][]byte, len(full))
+	copy(work, full)
+	for _, i := range lost {
+		work[i] = nil
+	}
+	dst := make([][]byte, len(lost))
+	for oi := range dst {
+		dst[oi] = bytes.Repeat([]byte{0xAA}, 72) // stale contents
+	}
+	filled, _, err := c.ReconstructManyInto(work, lost, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oi, i := range lost {
+		if !filled[oi] {
+			t.Fatalf("position %d not filled", i)
+		}
+		if !bytes.Equal(dst[oi], full[i]) {
+			t.Fatalf("position %d mismatch", i)
+		}
+	}
+}

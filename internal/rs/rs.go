@@ -39,6 +39,23 @@ type Code struct {
 	// cheap; sync.Once publishes the tables to concurrent encoders.
 	wideOnce sync.Once
 	wide     []*gf.WideTables
+	// invCache memoizes the decode inverse per surviving-column set:
+	// draining a dead node solves the same erasure pattern for thousands
+	// of stripes, so the O(k³) inversion happens once per pattern. Keys
+	// are 256-bit column bitsets; the distinct patterns seen by a real
+	// repair run number in the dozens, so the map never grows large.
+	invCache sync.Map // colKey -> *matrix.Matrix
+}
+
+// colKey is a bitset over the code's ≤256 column indices.
+type colKey [4]uint64
+
+func keyOf(cols []int) colKey {
+	var k colKey
+	for _, c := range cols {
+		k[c>>6] |= 1 << (uint(c) & 63)
+	}
+	return k
 }
 
 // wideTables returns the lane-packed encode tables (nil for fields wider
@@ -211,6 +228,130 @@ func (c *Code) encodeInto(data, parity [][]byte) {
 // codeword y = x·G. Used by the theory-side tests (distance enumeration).
 func (c *Code) EncodeVector(x []gf.Elem) []gf.Elem { return c.gen.VecMul(x) }
 
+// decodeInv returns (G restricted to the present columns)⁻¹, cached per
+// column set. present must hold exactly k indices. Codes wider than the
+// 256-bit key (GF(2^16) archival geometries) bypass the cache.
+func (c *Code) decodeInv(present []int) (*matrix.Matrix, error) {
+	cacheable := c.n <= 256
+	var key colKey
+	if cacheable {
+		key = keyOf(present)
+		if v, ok := c.invCache.Load(key); ok {
+			return v.(*matrix.Matrix), nil
+		}
+	}
+	sub := c.gen.SelectCols(present)
+	inv, err := sub.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("rs: MDS violation, singular submatrix: %w", err)
+	}
+	if cacheable {
+		c.invCache.Store(key, inv)
+	}
+	return inv, nil
+}
+
+// ReconstructCols rebuilds only the requested stripe positions from the
+// non-nil shards, which are not modified. Each rebuilt column costs one
+// fused pass over k surviving payloads: the per-target decode vector
+// d_t[j] = Σ_i inv[j,i]·G[i,t] folds the data solve and the re-encode
+// into a single slice combination, instead of materializing all k data
+// shards first (O(k²) slice passes) the way Reconstruct does. Positions
+// already present are returned as copies. RS decoding is all-or-nothing:
+// with fewer than k survivors nothing is recoverable and an error is
+// returned with no payloads.
+func (c *Code) ReconstructCols(shards [][]byte, positions []int) ([][]byte, error) {
+	size, err := c.checkShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	dst := make([][]byte, len(positions))
+	for oi := range dst {
+		dst[oi] = make([]byte, size)
+	}
+	if err := c.ReconstructColsInto(shards, positions, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ReconstructColsInto is ReconstructCols decoding into the caller's
+// buffers: dst is aligned with positions, each entry sized to the shard
+// length; stale contents are overwritten, never read. The store's repair
+// engine decodes straight into reusable framed block slabs through this.
+func (c *Code) ReconstructColsInto(shards [][]byte, positions []int, dst [][]byte) error {
+	size, err := c.checkShards(shards)
+	if err != nil {
+		return err
+	}
+	if len(dst) != len(positions) {
+		return fmt.Errorf("rs: got %d dst buffers, want %d", len(dst), len(positions))
+	}
+	var missing []int // indices into positions
+	for oi, p := range positions {
+		if p < 0 || p >= c.n {
+			return fmt.Errorf("rs: position %d out of range [0,%d)", p, c.n)
+		}
+		if len(dst[oi]) != size {
+			return fmt.Errorf("rs: dst buffer %d has size %d, want %d", oi, len(dst[oi]), size)
+		}
+		if shards[p] != nil {
+			copy(dst[oi], shards[p])
+		} else {
+			missing = append(missing, oi)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	var present []int
+	for i, s := range shards {
+		if s != nil {
+			present = append(present, i)
+		}
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("rs: %d shards present, need at least %d", len(present), c.k)
+	}
+	present = present[:c.k] // MDS: any k columns are independent
+	inv, err := c.decodeInv(present)
+	if err != nil {
+		return err
+	}
+	srcs := make([][]byte, c.k)
+	for j, pj := range present {
+		srcs[j] = shards[pj]
+	}
+	coef := make([]gf.Elem, c.k)
+	for _, oi := range missing {
+		t := positions[oi]
+		for j := 0; j < c.k; j++ {
+			if t < c.k {
+				// Systematic data column: G[i,t] = δ_it.
+				coef[j] = inv.At(j, t)
+				continue
+			}
+			var acc gf.Elem
+			for i := 0; i < c.k; i++ {
+				acc = c.f.Add(acc, c.f.Mul(inv.At(j, i), c.gen.At(i, t)))
+			}
+			coef[j] = acc
+		}
+		if c.f.M() == 8 {
+			c.f.DotSlices(coef, dst[oi], srcs)
+		} else {
+			buf := dst[oi]
+			for i := range buf {
+				buf[i] = 0
+			}
+			for j := 0; j < c.k; j++ {
+				c.f.MulAddSliceAuto(coef[j], buf, srcs[j])
+			}
+		}
+	}
+	return nil
+}
+
 // Reconstruct fills in the nil entries of shards in place, given that at
 // least k shards are present. It returns the number of shards it rebuilt.
 // This is the paper's heavy decoder: solving the Vandermonde-structured
@@ -235,10 +376,9 @@ func (c *Code) Reconstruct(shards [][]byte) (int, error) {
 		return 0, fmt.Errorf("rs: %d shards present, need at least %d", len(present), c.k)
 	}
 	present = present[:c.k] // MDS: any k columns are independent
-	sub := c.gen.SelectCols(present)
-	inv, err := sub.Inverse()
+	inv, err := c.decodeInv(present)
 	if err != nil {
-		return 0, fmt.Errorf("rs: MDS violation, singular submatrix: %w", err)
+		return 0, err
 	}
 	// x_i = Σ_j inv[j,i]·y_{present[j]}; then y_miss = x·G_miss.
 	data := make([][]byte, c.k)

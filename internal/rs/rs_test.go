@@ -366,3 +366,96 @@ func TestLargeBlocklengthGF16(t *testing.T) {
 		}
 	}
 }
+
+// TestReconstructCols checks the fused column decoder against the full
+// Reconstruct reference over every ≤4-erasure pattern touching the
+// requested positions, including parity-only requests (which must not
+// decode the data shards at all to be correct).
+func TestReconstructCols(t *testing.T) {
+	c := mustCode(t, 10, 14)
+	r := rand.New(rand.NewSource(41))
+	data := randShards(r, 10, 96)
+	full, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := [][]int{
+		{0}, {9}, {10}, {13}, {0, 13}, {3, 7, 11}, {10, 11, 12, 13}, {0, 1, 2, 3},
+	}
+	for _, lost := range patterns {
+		work := make([][]byte, len(full))
+		copy(work, full)
+		for _, i := range lost {
+			work[i] = nil
+		}
+		got, err := c.ReconstructCols(work, lost)
+		if err != nil {
+			t.Fatalf("ReconstructCols(%v): %v", lost, err)
+		}
+		for oi, i := range lost {
+			if !bytes.Equal(got[oi], full[i]) {
+				t.Fatalf("ReconstructCols(%v): position %d mismatch", lost, i)
+			}
+		}
+		for i, s := range work {
+			if s != nil && !bytes.Equal(s, full[i]) {
+				t.Fatalf("ReconstructCols(%v) mutated shard %d", lost, i)
+			}
+		}
+	}
+	// Requesting a present position returns a copy.
+	got, err := c.ReconstructCols(full, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], full[5]) {
+		t.Fatal("present position mismatch")
+	}
+	got[0][0] ^= 0xFF
+	if got[0][0] == full[5][0] {
+		t.Fatal("present position aliases the stripe")
+	}
+}
+
+// TestReconstructColsUnrecoverable: below rank k nothing is returned.
+func TestReconstructColsUnrecoverable(t *testing.T) {
+	c := mustCode(t, 10, 14)
+	r := rand.New(rand.NewSource(42))
+	full, err := c.Encode(randShards(r, 10, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := make([][]byte, len(full))
+	copy(work, full)
+	lost := []int{0, 1, 2, 3, 4}
+	for _, i := range lost {
+		work[i] = nil
+	}
+	if _, err := c.ReconstructCols(work, lost); err == nil {
+		t.Fatal("want error for 5 erasures on RS(10,4)")
+	}
+}
+
+// TestReconstructColsCached: repeated decodes of one erasure pattern
+// (the steady-state node-repair shape) reuse the cached inverse and stay
+// correct.
+func TestReconstructColsCached(t *testing.T) {
+	c := mustCode(t, 10, 14)
+	r := rand.New(rand.NewSource(43))
+	for round := 0; round < 3; round++ {
+		full, err := c.Encode(randShards(r, 10, 48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := make([][]byte, len(full))
+		copy(work, full)
+		work[2] = nil
+		got, err := c.ReconstructCols(work, []int{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[0], full[2]) {
+			t.Fatalf("round %d: cached decode mismatch", round)
+		}
+	}
+}

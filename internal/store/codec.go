@@ -13,6 +13,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"repro/internal/lrc"
 	"repro/internal/rs"
@@ -41,12 +42,31 @@ type Codec interface {
 	// rebuilt, given avail[j] marking positions believed readable, and
 	// whether the light (local) decoder suffices. Positions already held
 	// by the caller are included in the read set; the caller decides what
-	// it still needs to fetch.
+	// it still needs to fetch. The returned slice may be shared with the
+	// codec's plan cache (steady-state repair of a dead node re-plans the
+	// same erasure pattern for thousands of stripes): callers must treat
+	// it as read-only.
 	PlanReads(i int, avail []bool) (reads []int, light bool, err error)
 	// ReconstructBlock rebuilds block i from the non-nil stripe entries,
 	// reporting whether the light decoder sufficed. The stripe is not
 	// modified.
 	ReconstructBlock(stripe [][]byte, i int) (payload []byte, light bool, err error)
+	// ReconstructMany rebuilds every requested position from the non-nil
+	// stripe entries in one batched decode pass, without modifying the
+	// stripe. payloads is aligned with positions (a nil entry could not
+	// be rebuilt) and light[i] reports whether the light decoder rebuilt
+	// payloads[i]. err is non-nil when any position failed; rebuildable
+	// payloads are still returned (the partial progress a repair worker
+	// persists on an unrecoverable stripe).
+	ReconstructMany(stripe [][]byte, positions []int) (payloads [][]byte, light []bool, err error)
+	// ReconstructManyInto is ReconstructMany decoding into the caller's
+	// buffers: dst is aligned with positions, each entry sized to the
+	// stripe's block length, stale contents overwritten and never read.
+	// filled[i] reports whether dst[i] now holds the rebuilt payload —
+	// the repair engine's zero-allocation path, decoding straight into
+	// reusable framed block slabs. dst entries must not alias each other
+	// or the stripe.
+	ReconstructManyInto(stripe [][]byte, positions []int, dst [][]byte) (filled, light []bool, err error)
 	// RepairGroups returns the repair groups for placement: no two members
 	// of one group should share a rack, so a rack loss costs each group at
 	// most one block. nil means the codec has no local structure.
@@ -58,12 +78,79 @@ type Codec interface {
 	LocateCorruption(stripe [][]byte) ([]int, error)
 }
 
+// planKey identifies one cached repair plan: the lost position plus the
+// availability pattern it was planned against.
+type planKey struct {
+	pos  int
+	mask uint64
+}
+
+// planEntry is one cached PlanReads result. reads is shared with every
+// caller (the Codec contract makes plan read sets read-only).
+type planEntry struct {
+	reads []int
+	light bool
+}
+
+// planCache memoizes successful repair plans per (position,
+// availability-mask) bitset: repairing a dead node presents the same
+// erasure pattern across thousands of stripes, and the rank elimination
+// behind each plan is pure overhead after the first solve. Stripes wider
+// than 64 blocks bypass the cache (every paper code fits). Unrecoverable
+// patterns are not cached — they are rare and re-solving keeps error
+// paths simple.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[planKey]planEntry
+}
+
+// availMask packs an availability vector into a bitset, ok=false when the
+// stripe is too wide to cache.
+func availMask(avail []bool) (uint64, bool) {
+	if len(avail) > 64 {
+		return 0, false
+	}
+	var m uint64
+	for i, a := range avail {
+		if a {
+			m |= 1 << uint(i)
+		}
+	}
+	return m, true
+}
+
+func (pc *planCache) get(pos int, avail []bool) ([]int, bool, bool) {
+	mask, ok := availMask(avail)
+	if !ok {
+		return nil, false, false
+	}
+	pc.mu.RLock()
+	e, hit := pc.m[planKey{pos, mask}]
+	pc.mu.RUnlock()
+	return e.reads, e.light, hit
+}
+
+func (pc *planCache) put(pos int, avail []bool, reads []int, light bool) {
+	mask, ok := availMask(avail)
+	if !ok {
+		return
+	}
+	pc.mu.Lock()
+	if pc.m == nil {
+		pc.m = make(map[planKey]planEntry)
+	}
+	pc.m[planKey{pos, mask}] = planEntry{reads: reads, light: light}
+	pc.mu.Unlock()
+}
+
 // LRCCodec adapts *lrc.Code to the store. The zero value is unusable; use
 // NewLRCCodec or NewXorbasCodec.
 type LRCCodec struct {
 	c      *lrc.Code
 	groups [][]int
 	name   string
+	exists []bool // all-true mask, built once for the planner
+	plans  planCache
 }
 
 // NewLRCCodec wraps an LRC.
@@ -72,10 +159,15 @@ func NewLRCCodec(c *lrc.Code) *LRCCodec {
 	for _, g := range c.Groups() {
 		groups = append(groups, g.Members)
 	}
+	exists := make([]bool, c.NStored())
+	for j := range exists {
+		exists[j] = true
+	}
 	p := c.Params()
 	return &LRCCodec{
 		c:      c,
 		groups: groups,
+		exists: exists,
 		name:   fmt.Sprintf("LRC(%d,%d,%d)", p.K, c.NStored()-p.K, p.GroupSize),
 	}
 }
@@ -109,22 +201,34 @@ func (l *LRCCodec) EncodeInto(data, parity [][]byte, workers int) error {
 }
 
 // PlanReads implements Codec via the code's repair planner (minimal read
-// policy — the store is the "more efficient implementation" of §3.1.2).
+// policy — the store is the "more efficient implementation" of §3.1.2),
+// memoized per (position, availability-mask).
 func (l *LRCCodec) PlanReads(i int, avail []bool) ([]int, bool, error) {
-	exists := make([]bool, l.c.NStored())
-	for j := range exists {
-		exists[j] = true
+	if reads, light, ok := l.plans.get(i, avail); ok {
+		return reads, light, nil
 	}
-	plan, err := l.c.PlanRepair(i, exists, avail, false)
+	plan, err := l.c.PlanRepair(i, l.exists, avail, false)
 	if err != nil {
 		return nil, false, err
 	}
+	l.plans.put(i, avail, plan.Reads, plan.Light)
 	return plan.Reads, plan.Light, nil
 }
 
 // ReconstructBlock implements Codec.
 func (l *LRCCodec) ReconstructBlock(stripe [][]byte, i int) ([]byte, bool, error) {
 	return l.c.ReconstructBlock(stripe, i)
+}
+
+// ReconstructMany implements Codec: one light pass plus at most one
+// shared heavy solve for all requested positions.
+func (l *LRCCodec) ReconstructMany(stripe [][]byte, positions []int) ([][]byte, []bool, error) {
+	return l.c.ReconstructMany(stripe, positions)
+}
+
+// ReconstructManyInto implements Codec.
+func (l *LRCCodec) ReconstructManyInto(stripe [][]byte, positions []int, dst [][]byte) ([]bool, []bool, error) {
+	return l.c.ReconstructManyInto(stripe, positions, dst)
 }
 
 // RepairGroups implements Codec.
@@ -141,13 +245,19 @@ func (l *LRCCodec) LocateCorruption(stripe [][]byte) ([]int, error) {
 // RSCodec adapts *rs.Code to the store: the baseline with no local
 // structure, where every repair reads k blocks.
 type RSCodec struct {
-	c    *rs.Code
-	name string
+	c      *rs.Code
+	name   string
+	exists []bool // all-true mask, built once for the planner
+	plans  planCache
 }
 
 // NewRSCodec wraps a Reed-Solomon code.
 func NewRSCodec(c *rs.Code) *RSCodec {
-	return &RSCodec{c: c, name: fmt.Sprintf("RS(%d,%d)", c.K(), c.N()-c.K())}
+	exists := make([]bool, c.N())
+	for j := range exists {
+		exists[j] = true
+	}
+	return &RSCodec{c: c, exists: exists, name: fmt.Sprintf("RS(%d,%d)", c.K(), c.N()-c.K())}
 }
 
 // NewRS104Codec wraps the paper's RS(10,4) baseline.
@@ -180,33 +290,61 @@ func (r *RSCodec) EncodeInto(data, parity [][]byte, workers int) error {
 }
 
 // PlanReads implements Codec with the minimal policy: any rank-k subset of
-// the available blocks. light is always false — RS repairs are heavy.
+// the available blocks, memoized per (position, availability-mask). light
+// is always false — RS repairs are heavy.
 func (r *RSCodec) PlanReads(i int, avail []bool) ([]int, bool, error) {
-	exists := make([]bool, r.c.N())
-	for j := range exists {
-		exists[j] = true
+	if reads, _, ok := r.plans.get(i, avail); ok {
+		return reads, false, nil
 	}
-	plan, err := r.c.PlanRepair(i, exists, avail, false)
+	plan, err := r.c.PlanRepair(i, r.exists, avail, false)
 	if err != nil {
 		return nil, false, err
 	}
+	r.plans.put(i, avail, plan.Reads, false)
 	return plan.Reads, false, nil
 }
 
-// ReconstructBlock implements Codec via the full heavy decoder.
+// ReconstructBlock implements Codec as a thin wrapper over
+// ReconstructMany: only the requested column is decoded (one fused pass
+// over k survivors), not the whole stripe.
 func (r *RSCodec) ReconstructBlock(stripe [][]byte, i int) ([]byte, bool, error) {
-	if len(stripe) != r.c.N() {
-		return nil, false, fmt.Errorf("store: got %d stripe entries, want %d", len(stripe), r.c.N())
-	}
-	if stripe[i] != nil {
-		return append([]byte(nil), stripe[i]...), false, nil
-	}
-	work := make([][]byte, len(stripe))
-	copy(work, stripe)
-	if _, err := r.c.Reconstruct(work); err != nil {
+	payloads, _, err := r.ReconstructMany(stripe, []int{i})
+	if err != nil {
 		return nil, false, err
 	}
-	return work[i], false, nil
+	return payloads[0], false, nil
+}
+
+// ReconstructMany implements Codec via the batched column decoder. RS
+// decoding is all-or-nothing (below rank k nothing is recoverable), so
+// on error every payload is nil — there is no partial progress to keep.
+func (r *RSCodec) ReconstructMany(stripe [][]byte, positions []int) ([][]byte, []bool, error) {
+	if len(stripe) != r.c.N() {
+		return nil, nil, fmt.Errorf("store: got %d stripe entries, want %d", len(stripe), r.c.N())
+	}
+	light := make([]bool, len(positions))
+	payloads, err := r.c.ReconstructCols(stripe, positions)
+	if err != nil {
+		return make([][]byte, len(positions)), light, err
+	}
+	return payloads, light, nil
+}
+
+// ReconstructManyInto implements Codec (all-or-nothing, like
+// ReconstructMany).
+func (r *RSCodec) ReconstructManyInto(stripe [][]byte, positions []int, dst [][]byte) ([]bool, []bool, error) {
+	if len(stripe) != r.c.N() {
+		return nil, nil, fmt.Errorf("store: got %d stripe entries, want %d", len(stripe), r.c.N())
+	}
+	filled := make([]bool, len(positions))
+	light := make([]bool, len(positions))
+	if err := r.c.ReconstructColsInto(stripe, positions, dst); err != nil {
+		return filled, light, err
+	}
+	for i := range filled {
+		filled[i] = true
+	}
+	return filled, light, nil
 }
 
 // RepairGroups implements Codec: RS stripes have no repair groups, so

@@ -71,6 +71,7 @@ type counters struct {
 	repairBlocksRead atomic.Int64
 	repairBytesRead  atomic.Int64
 	repairedBlocks   atomic.Int64
+	repairedBytes    atomic.Int64
 	repairsLight     atomic.Int64
 	repairsHeavy     atomic.Int64
 }
@@ -115,7 +116,10 @@ type Metrics struct {
 	// for single-block losses.
 	RepairBlocksRead, RepairBytesRead int64
 	RepairedBlocks                    int64
-	RepairsLight, RepairsHeavy        int64
+	// RepairedBytes counts payload bytes rebuilt and rewritten by the
+	// BlockFixer — the numerator of repair throughput (MB/s repaired).
+	RepairedBytes              int64
+	RepairsLight, RepairsHeavy int64
 }
 
 // Metrics returns a snapshot of the store's counters.
@@ -136,6 +140,7 @@ func (s *Store) Metrics() Metrics {
 		RepairBlocksRead:   s.m.repairBlocksRead.Load(),
 		RepairBytesRead:    s.m.repairBytesRead.Load(),
 		RepairedBlocks:     s.m.repairedBlocks.Load(),
+		RepairedBytes:      s.m.repairedBytes.Load(),
 		RepairsLight:       s.m.repairsLight.Load(),
 		RepairsHeavy:       s.m.repairsHeavy.Load(),
 	}

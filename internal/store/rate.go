@@ -1,0 +1,64 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// byteRate is a token-bucket byte limiter pacing the background
+// datapaths: the paper bounds the BlockFixer's load so repair traffic
+// never starves foreground reads, and the scrubber's integrity walk gets
+// the same treatment. Charging happens *after* each backend read with the
+// actual byte count (a debt model): a block larger than the burst is
+// still admitted and the bucket simply goes negative, so the long-run
+// average converges on the configured budget regardless of block size.
+//
+// A nil *byteRate is valid and means unlimited — the zero-config fast
+// path costs one pointer test.
+type byteRate struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // token cap; also the max accumulated idle credit
+	tokens float64
+	last   time.Time
+}
+
+// newByteRate builds a limiter for the given budget, nil when the budget
+// is unlimited (≤ 0). The burst is kept small relative to the rate
+// (1/16 s of budget, floored at one typical block frame) so a paced run's
+// measured rate stays within a few percent of the configured one even
+// over short windows.
+func newByteRate(bytesPerSec int64) *byteRate {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	burst := float64(bytesPerSec) / 16
+	if burst < 128<<10 {
+		burst = 128 << 10
+	}
+	return &byteRate{rate: float64(bytesPerSec), burst: burst, last: time.Now()}
+}
+
+// take charges n bytes against the bucket, sleeping off any debt. Safe
+// for concurrent use; concurrent workers share one budget.
+func (b *byteRate) take(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	b.tokens -= float64(n)
+	var wait time.Duration
+	if b.tokens < 0 {
+		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	}
+	b.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}

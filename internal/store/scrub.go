@@ -1,7 +1,9 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"sync"
 	"time"
 )
@@ -32,24 +34,56 @@ func NewRepairManager(s *Store, workers int) *RepairManager {
 	return &RepairManager{s: s, q: newRepairQueue(), workers: workers}
 }
 
-// Start launches the worker pool. Idempotent.
+// Start launches the worker pool. Each worker runs a two-stage pipeline
+// mirroring the PR 3 stream engine: while stripe i's rebuilt blocks are
+// being written back (and the manifest relocated), the worker is already
+// fetching and decoding stripe i+1's sources. The queue item stays
+// in-flight until its write-back lands, so Drain still means "damage
+// gone", not "damage decoded". Idempotent.
 func (r *RepairManager) Start() {
 	r.startOnce.Do(func() {
 		for w := 0; w < r.workers; w++ {
 			r.wg.Add(1)
 			go func() {
 				defer r.wg.Done()
+				var scratch repairScratch
+				var join func() // pending write-back of the previous item
 				for {
 					it, ok := r.q.Pop()
 					if !ok {
-						return
+						break
 					}
-					r.repairOne(it)
-					r.q.Done()
+					write := r.repairFetch(it, &scratch)
+					if join != nil {
+						join() // write-backs are serialized per worker
+					}
+					join = r.asyncWrite(write)
+				}
+				if join != nil {
+					join()
 				}
 			}()
 		}
 	})
+}
+
+// asyncWrite runs a repair write-back concurrently with the worker's
+// next fetch, marking the queue item done only once the blocks are
+// durable. The returned join blocks until then. A nil write (stripe
+// healed, deleted or unrecoverable — the common no-op cases) completes
+// inline without spawning anything.
+func (r *RepairManager) asyncWrite(write func()) func() {
+	if write == nil {
+		r.q.Done()
+		return nil
+	}
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		write()
+		r.q.Done()
+	}()
+	return func() { <-ch }
 }
 
 // Stop drains the queue and stops the workers. Idempotent; blocks until
@@ -72,14 +106,44 @@ func (r *RepairManager) Pending() int { return r.q.Len() }
 // enqueue admits one damaged stripe (deduplicated by the queue).
 func (r *RepairManager) enqueue(it repairItem) bool { return r.q.Push(it) }
 
-// repairOne rebuilds a damaged stripe's blocks and rewrites them. The
-// stripe is re-probed first: the damage may have healed (node revived) or
-// grown since scrub time.
-func (r *RepairManager) repairOne(it repairItem) {
+// repairScratch is one worker's pair of reusable framed block slabs.
+// Rebuilt payloads are decoded straight into a slab's payload windows and
+// written back from the same bytes (CRC stamped in place) — zero copies
+// and zero steady-state allocation inside a repair. Two slabs ping-pong
+// because the write-back of stripe i overlaps the decode of stripe i+1;
+// write-backs themselves are serialized per worker, so slab i is free
+// again by the time stripe i+2 decodes.
+type repairScratch struct {
+	slabs [2][]byte
+	turn  int
+}
+
+// next returns n framed block buffers of payloadLen bytes carved from
+// the worker's next slab, growing it as needed.
+func (rs *repairScratch) next(n, payloadLen int) [][]byte {
+	need := n * (4 + payloadLen)
+	slab := rs.slabs[rs.turn]
+	if cap(slab) < need {
+		slab = make([]byte, need)
+		rs.slabs[rs.turn] = slab
+	}
+	rs.turn ^= 1
+	return carveFramedBufs(slab[:need], n, payloadLen)
+}
+
+// repairFetch re-probes a damaged stripe and rebuilds its blocks — the
+// read/decode half of a repair, paced by the repair limiter — returning
+// the write-back step for the pipeline to overlap with the next fetch
+// (nil when nothing needs writing). The stripe is re-probed first: the
+// damage may have healed (node revived) or grown since scrub time.
+// Rebuilt payloads land in framed slab buffers: scratch-owned for a
+// copying backend, freshly allocated for an owning one (the buffers are
+// gone for good once handed over, exactly like the streaming put).
+func (r *RepairManager) repairFetch(it repairItem, scratch *repairScratch) func() {
 	s := r.s
 	si, ok := s.stripeSnapshot(it.ref)
 	if !ok {
-		return // object deleted since scrub
+		return nil // object deleted since scrub
 	}
 	n := s.cfg.Codec.NStored()
 	acct := &readAcct{}
@@ -91,7 +155,7 @@ func (r *RepairManager) repairOne(it repairItem) {
 	var damaged []int
 	for _, pos := range it.damaged {
 		if !it.silent {
-			if p, err := s.readBlockPayload(&si, pos, acct); err == nil {
+			if p, err := s.readBlockPayload(&si, pos, acct, s.repairLim); err == nil {
 				stripe[pos] = p // healed under us; reuse the bytes
 				continue
 			}
@@ -100,19 +164,53 @@ func (r *RepairManager) repairOne(it repairItem) {
 		damaged = append(damaged, pos)
 	}
 	if len(damaged) == 0 {
-		return
+		s.m.mergeRepair(acct)
+		return nil
 	}
-	// On an unrecoverable stripe reconstructPositions still rebuilds what
+	bs := si.BlockLen
+	var bufs [][]byte
+	if s.ownedW != nil {
+		bufs = makeFramedBufs(len(damaged), bs)
+	} else {
+		bufs = scratch.next(len(damaged), bs)
+	}
+	slotOf := func(pos int) int {
+		for di, p := range damaged {
+			if p == pos {
+				return di
+			}
+		}
+		return -1
+	}
+	// On an unrecoverable stripe the batched decode still rebuilds what
 	// it can before failing; persist that partial progress — every block
 	// written back moves the stripe away from the data-loss edge. Scrub
 	// re-reports whatever is still missing.
-	_ = s.reconstructPositions(&si, stripe, damaged, avail, acct)
-	aliveNow := s.aliveSnapshot()
-	var frame []byte // reused across rewrites; Write never retains it
+	_ = s.reconstructInto(&si, stripe, damaged, avail, acct, s.repairLim,
+		func(pos int) []byte { return bufs4(bufs[slotOf(pos)], bs) })
+	s.m.mergeRepair(acct)
+	var rebuilt []int
 	for _, pos := range damaged {
-		if stripe[pos] == nil {
-			continue // this one could not be rebuilt
+		if stripe[pos] != nil {
+			rebuilt = append(rebuilt, pos)
 		}
+	}
+	if len(rebuilt) == 0 {
+		return nil
+	}
+	return func() {
+		s.writeRepaired(it.ref, si, stripe, rebuilt, func(pos int) []byte { return bufs[slotOf(pos)] })
+	}
+}
+
+// writeRepaired is the write-back half of a repair: place each rebuilt
+// block on a live node (re-placing off dead ones under the rack rule),
+// stamp its frame's CRC in place and write it — handing the buffer over
+// outright on an owning backend — then splice the new location into the
+// manifest.
+func (s *Store) writeRepaired(ref stripeRef, si stripeInfo, stripe [][]byte, rebuilt []int, frameOf func(pos int) []byte) {
+	aliveNow := s.aliveSnapshot()
+	for _, pos := range rebuilt {
 		node := si.Nodes[pos]
 		if node < 0 || node >= len(aliveNow) || !aliveNow[node] {
 			// Re-place on a live node, keeping the rack rule against the
@@ -136,19 +234,26 @@ func (r *RepairManager) repairOne(it repairItem) {
 				_ = s.cfg.Backend.Delete(old, si.Keys[pos])
 			}
 		}
-		frame = AppendFrame(frame[:0], stripe[pos])
-		if err := s.cfg.Backend.Write(node, si.Keys[pos], frame); err != nil {
+		frame := frameOf(pos)
+		binary.LittleEndian.PutUint32(frame, crc32.Checksum(frame[4:], castagnoli))
+		var err error
+		if s.ownedW != nil {
+			err = s.ownedW.WriteOwned(node, si.Keys[pos], frame)
+		} else {
+			err = s.cfg.Backend.Write(node, si.Keys[pos], frame)
+		}
+		if err != nil {
 			continue
 		}
-		if s.relocateBlock(it.ref, pos, node, si.Keys[pos]) {
+		if s.relocateBlock(ref, pos, node, si.Keys[pos]) {
 			s.m.repairedBlocks.Add(1)
+			s.m.repairedBytes.Add(int64(len(stripe[pos])))
 		} else {
 			// The object was deleted or overwritten while we repaired:
 			// remove the block we just wrote or it leaks as an orphan.
 			_ = s.cfg.Backend.Delete(node, si.Keys[pos])
 		}
 	}
-	s.m.mergeRepair(acct)
 }
 
 // ScrubReport summarizes one full scrub pass.
@@ -226,6 +331,55 @@ func (sc *Scrubber) ScrubOnce() ScrubReport {
 	return rep
 }
 
+// ScrubPresence walks every stripe's manifest and enqueues stripes with
+// blocks on dead nodes — the node-failure detection path of the §3
+// BlockFixer (HDFS learns of a dead DataNode from missed heartbeats, not
+// from reading blocks). No backend reads and no CRC checks happen, so a
+// node kill turns into queued repairs at manifest-walk speed; silent
+// corruption and deleted blocks on live nodes are ScrubOnce's job.
+func (sc *Scrubber) ScrubPresence() ScrubReport {
+	var rep ScrubReport
+	s := sc.s
+	n := s.cfg.Codec.NStored()
+	for _, ref := range s.stripeRefs() {
+		si, ok := s.stripeSnapshot(ref)
+		if !ok {
+			continue
+		}
+		rep.Stripes++
+		avail := make([]bool, n)
+		var damaged []int
+		for pos := 0; pos < n; pos++ {
+			if s.Alive(si.Nodes[pos]) {
+				avail[pos] = true
+			} else {
+				damaged = append(damaged, pos)
+			}
+		}
+		if len(damaged) == 0 {
+			continue
+		}
+		rep.Missing += len(damaged)
+		s.m.missingFound.Add(int64(len(damaged)))
+		light := true
+		for _, pos := range damaged {
+			if _, l, err := s.cfg.Codec.PlanReads(pos, avail); err != nil || !l {
+				light = false
+				break
+			}
+		}
+		if sc.rm.enqueue(repairItem{
+			ref:      ref,
+			damaged:  damaged,
+			erasures: len(damaged),
+			light:    light,
+		}) {
+			rep.Enqueued++
+		}
+	}
+	return rep
+}
+
 // scrubStripe checks one stripe: every block is read and CRC-verified;
 // full stripes additionally pass through the codec's syndrome scan
 // (GroupSyndrome via LocateCorruption), which catches corruption whose
@@ -244,7 +398,7 @@ func (sc *Scrubber) scrubStripe(ref stripeRef) (missing, corrupt int, enqueued b
 	var damaged []int
 	silent := false
 	for pos := 0; pos < n; pos++ {
-		p, err := s.readBlockPayload(&si, pos, acct)
+		p, err := s.readBlockPayload(&si, pos, acct, s.scrubLim)
 		if err != nil {
 			if errors.Is(err, ErrCorrupt) {
 				corrupt++

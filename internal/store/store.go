@@ -40,8 +40,17 @@ type Config struct {
 	// memory backend mostly overlaps lock hold times.
 	WriteWorkers int
 	// ReadWorkers bounds the pool fetching one stripe's data blocks
-	// concurrently during streaming gets: 0 = default (4), <0 = serial.
+	// concurrently during streaming gets — and a repair's planned source
+	// blocks: 0 = default (4), <0 = serial.
 	ReadWorkers int
+	// RepairRateBytes caps the repair pool's backend read rate in bytes
+	// per second — the paper's bounded fixer load, so background repair
+	// of a dead node never starves foreground reads. Charged by actual
+	// bytes read through a shared token bucket; 0 = unlimited.
+	RepairRateBytes int64
+	// ScrubRateBytes caps the scrubber's integrity-walk read rate in
+	// bytes per second, same discipline; 0 = unlimited.
+	ScrubRateBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -134,6 +143,11 @@ type Store struct {
 	gen atomic.Int64 // Put generation, keeps block keys unique
 	seq atomic.Int64 // stripe placement rotation
 
+	// repairLim / scrubLim pace the background datapaths (nil =
+	// unlimited). Foreground reads never touch them.
+	repairLim *byteRate
+	scrubLim  *byteRate
+
 	m counters
 }
 
@@ -154,6 +168,8 @@ func New(cfg Config) (*Store, error) {
 	if ow, ok := cfg.Backend.(OwnedWriter); ok {
 		s.ownedW = ow
 	}
+	s.repairLim = newByteRate(cfg.RepairRateBytes)
+	s.scrubLim = newByteRate(cfg.ScrubRateBytes)
 	for i := range s.alive {
 		s.alive[i] = true
 	}
@@ -268,8 +284,10 @@ func (s *Store) Put(name string, data []byte) error {
 // readBlockPayload fetches and unframes one stripe position. Reads from
 // dead nodes fail without touching the backend; short, corrupt or missing
 // blocks fail after the read (and still count toward bytes read — the
-// scrubber pays for what it reads, good or bad).
-func (s *Store) readBlockPayload(si *stripeInfo, pos int, acct *readAcct) ([]byte, error) {
+// scrubber pays for what it reads, good or bad). lim, when non-nil, is
+// charged the actual bytes read: the background datapaths pass their
+// token bucket, foreground reads pass nil.
+func (s *Store) readBlockPayload(si *stripeInfo, pos int, acct *readAcct, lim *byteRate) ([]byte, error) {
 	node := si.Nodes[pos]
 	if !s.Alive(node) {
 		return nil, fmt.Errorf("store: node %d is dead", node)
@@ -280,6 +298,7 @@ func (s *Store) readBlockPayload(si *stripeInfo, pos int, acct *readAcct) ([]byt
 	}
 	acct.blocks++
 	acct.bytes += int64(len(raw))
+	lim.take(int64(len(raw)))
 	payload, err := UnframeBlock(raw)
 	if err != nil {
 		return nil, err
@@ -290,49 +309,154 @@ func (s *Store) readBlockPayload(si *stripeInfo, pos int, acct *readAcct) ([]byt
 	return payload, nil
 }
 
-// reconstructPositions rebuilds every position in need, fetching extra
-// blocks per the codec's repair plan (light local set first, heavy
-// fallback). stripe holds payloads already in hand and is filled in
-// place; avail marks positions believed readable and is downgraded as
-// fetches fail, re-planning until the position is rebuilt or provably
-// unrecoverable.
-func (s *Store) reconstructPositions(si *stripeInfo, stripe [][]byte, need []int, avail []bool, acct *readAcct) error {
-	for _, pos := range need {
-		if stripe[pos] != nil {
-			continue
+// reconstructPositions rebuilds every nil position in need with one
+// batched decode: the union of the codec's repair plans (light local
+// sets first, heavy fallback — cached per erasure pattern) is fetched
+// concurrently through the bounded read pool, then a single
+// ReconstructMany pass rebuilds all targets through the word-wise XOR
+// and fused table kernels. stripe holds payloads already in hand and is
+// filled in place; avail marks positions believed readable and is
+// downgraded as fetches fail, re-planning until every target is rebuilt
+// or provably unrecoverable. On an unrecoverable stripe the targets that
+// can be rebuilt still are (partial progress) and the first failure is
+// returned.
+func (s *Store) reconstructPositions(si *stripeInfo, stripe [][]byte, need []int, avail []bool, acct *readAcct, lim *byteRate) error {
+	return s.reconstructInto(si, stripe, need, avail, acct, lim, nil)
+}
+
+// reconstructInto is reconstructPositions with an optional destination
+// map: when dstFor is non-nil it supplies the decode buffer for each
+// target position (the repair engine's reusable framed slabs) and the
+// codec's zero-allocation ReconstructManyInto path is used.
+func (s *Store) reconstructInto(si *stripeInfo, stripe [][]byte, need []int, avail []bool, acct *readAcct, lim *byteRate, dstFor func(pos int) []byte) error {
+	var firstErr error
+	n := len(stripe)
+	wanted := make([]int, 0, n)
+	seen := make([]bool, n)
+	for {
+		// Plan every target still nil; collect the union of source reads.
+		var targets []int
+		wanted = wanted[:0]
+		for i := range seen {
+			seen[i] = false
 		}
-	plan:
-		for {
+		for _, pos := range need {
+			if stripe[pos] != nil {
+				continue
+			}
 			reads, _, err := s.cfg.Codec.PlanReads(pos, avail)
 			if err != nil {
-				return fmt.Errorf("store: block %d unrecoverable: %w", pos, err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("store: block %d unrecoverable: %w", pos, err)
+				}
+				continue
 			}
+			targets = append(targets, pos)
 			for _, j := range reads {
-				if stripe[j] != nil {
-					continue
+				if stripe[j] == nil && !seen[j] {
+					seen[j] = true
+					wanted = append(wanted, j)
 				}
-				p, err := s.readBlockPayload(si, j, acct)
-				if err != nil {
-					avail[j] = false
-					continue plan
-				}
-				stripe[j] = p
 			}
-			payload, light, err := s.cfg.Codec.ReconstructBlock(stripe, pos)
-			if err != nil {
-				return err
+		}
+		if len(targets) == 0 {
+			return firstErr
+		}
+		if s.fetchBlocks(si, stripe, wanted, avail, acct, lim) {
+			continue // a source failed; re-plan with the downgraded avail
+		}
+		var payloads [][]byte
+		var filled, lights []bool
+		var err error
+		if dstFor != nil {
+			payloads = make([][]byte, len(targets))
+			for ti, pos := range targets {
+				payloads[ti] = dstFor(pos)
 			}
-			stripe[pos] = payload
+			filled, lights, err = s.cfg.Codec.ReconstructManyInto(stripe, targets, payloads)
+		} else {
+			payloads, lights, err = s.cfg.Codec.ReconstructMany(stripe, targets)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for ti, pos := range targets {
+			if payloads == nil || payloads[ti] == nil {
+				continue
+			}
+			if dstFor != nil && (filled == nil || !filled[ti]) {
+				continue // Into path: the buffer was not filled
+			}
+			stripe[pos] = payloads[ti]
 			avail[pos] = true
-			if light {
+			if lights[ti] {
 				acct.light++
 			} else {
 				acct.heavy++
 			}
-			break
+		}
+		// Every planned source was in hand, so a target ReconstructMany
+		// left nil is genuinely unrecoverable — re-looping could not fetch
+		// anything new.
+		return firstErr
+	}
+}
+
+// fetchBlocks reads the given stripe positions into stripe —
+// concurrently when the read pool allows — charging lim and downgrading
+// avail on failure. Reports whether any fetch failed (the caller then
+// re-plans).
+func (s *Store) fetchBlocks(si *stripeInfo, stripe [][]byte, positions []int, avail []bool, acct *readAcct, lim *byteRate) bool {
+	if len(positions) == 0 {
+		return false
+	}
+	failed := false
+	workers := s.readWorkers(len(positions))
+	if workers <= 1 {
+		for _, j := range positions {
+			p, err := s.readBlockPayload(si, j, acct, lim)
+			if err != nil {
+				avail[j] = false
+				failed = true
+				continue
+			}
+			stripe[j] = p
+		}
+		return failed
+	}
+	accts := make([]readAcct, workers)
+	errs := make([]error, len(positions))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := range jobs {
+				p, err := s.readBlockPayload(si, positions[idx], &accts[w], lim)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				stripe[positions[idx]] = p
+			}
+		}(w)
+	}
+	for idx := range positions {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for w := range accts {
+		acct.add(&accts[w])
+	}
+	for idx, err := range errs {
+		if err != nil {
+			avail[positions[idx]] = false
+			failed = true
 		}
 	}
-	return nil
+	return failed
 }
 
 // verKey names one version of one object for the pin table.

@@ -191,7 +191,13 @@ func bufs4(b []byte, bs int) []byte { return b[4 : 4+bs] }
 // together.
 func makeFramedBufs(n, payloadLen int) [][]byte {
 	fl := 4 + payloadLen
-	slab := make([]byte, n*fl)
+	return carveFramedBufs(make([]byte, n*fl), n, payloadLen)
+}
+
+// carveFramedBufs slices an existing slab (len ≥ n·(4+payloadLen)) into
+// n framed block buffers — the repair workers' slab-reuse path.
+func carveFramedBufs(slab []byte, n, payloadLen int) [][]byte {
+	fl := 4 + payloadLen
 	bufs := make([][]byte, n)
 	for i := range bufs {
 		bufs[i] = slab[i*fl : (i+1)*fl : (i+1)*fl]
@@ -439,7 +445,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 	workers := s.readWorkers(k)
 	if workers <= 1 {
 		for pos := 0; pos < k; pos++ {
-			p, err := s.readBlockPayload(si, pos, &res.acct)
+			p, err := s.readBlockPayload(si, pos, &res.acct, nil)
 			if err != nil {
 				avail[pos] = false
 				missing = append(missing, pos)
@@ -457,7 +463,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 			go func(w int) {
 				defer wg.Done()
 				for pos := range jobs {
-					scratch[pos], errs[pos] = s.readBlockPayload(si, pos, &accts[w])
+					scratch[pos], errs[pos] = s.readBlockPayload(si, pos, &accts[w], nil)
 				}
 			}(w)
 		}
@@ -479,7 +485,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 	}
 	if len(missing) > 0 {
 		res.acct.degraded = true
-		if err := s.reconstructPositions(si, scratch, missing, avail, &res.acct); err != nil {
+		if err := s.reconstructPositions(si, scratch, missing, avail, &res.acct, nil); err != nil {
 			res.err = err
 		}
 	}
