@@ -16,7 +16,13 @@
 // The `store` subcommands (see store.go) drive the multi-node object
 // store in repro/internal/store instead of a single flat stripe:
 //
-//	xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]
+//	xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|repair-drain|stats [flags]
+//
+// The `node` subcommand (see node.go) runs one block-server process over
+// TCP; `store -backend net -nodes a:7001,b:7002,...` drives a cluster of
+// them:
+//
+//	xorbasctl node serve -dir DIR -listen ADDR
 package main
 
 import (
@@ -45,6 +51,13 @@ func main() {
 	cmd := os.Args[1]
 	if cmd == "store" {
 		if err := storeMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "xorbasctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "node" {
+		if err := nodeMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "xorbasctl:", err)
 			os.Exit(1)
 		}
@@ -80,7 +93,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl encode|verify|repair|decode [flags]")
-	fmt.Fprintln(os.Stderr, "       xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|stats [flags]")
+	fmt.Fprintln(os.Stderr, "       xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|repair-drain|stats [flags]")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node serve -dir DIR -listen ADDR")
 	os.Exit(2)
 }
 

@@ -14,6 +14,13 @@ package main
 // time (memory stays bounded no matter the object size; `-in -` reads
 // stdin) and get streams stripes straight to -out (`-out -` or no -out
 // writes stdout; the summary then goes to stderr).
+//
+// Every data command also takes `-backend net -nodes a:7001,b:7002,...`:
+// blocks then live on real node processes (`xorbasctl node serve`)
+// reached over TCP instead of subdirectories, with one address per store
+// node, and the summaries include the wire traffic. The manifest
+// (store.json) stays in -dir either way. With the default `-backend
+// dir`, -nodes is the simulated node count as before.
 //	xorbasctl store kill-node  -dir DIR -node N
 //	xorbasctl store revive-node -dir DIR -node N
 //	xorbasctl store corrupt    -dir DIR -name NAME [-stripe I] [-block-idx J] [-silent]
@@ -36,9 +43,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/netblock"
 	"repro/internal/store"
 )
 
@@ -66,7 +75,8 @@ func storeMain(args []string) error {
 	out := fs.String("out", "", "output file (get; default stdout summary only)")
 	name := fs.String("name", "", "object name (default: input file base name)")
 	useRS := fs.Bool("rs", false, "create the store with RS(10,4) instead of LRC(10,6,5) (put only, first use)")
-	nodes := fs.Int("nodes", 20, "simulated nodes (first put only)")
+	backendKind := fs.String("backend", "dir", "block backend: dir (subdirectories under -dir) or net (TCP block servers)")
+	nodes := fs.String("nodes", "20", "dir backend: simulated node count (first put only); net backend: comma-separated host:port list, one address per node")
 	racks := fs.Int("racks", 8, "racks, rack = node mod racks (first put only)")
 	blockSize := fs.Int("block", 64<<10, "max data-block bytes (first put only)")
 	node := fs.Int("node", -1, "node id (kill-node / revive-node)")
@@ -83,30 +93,104 @@ func storeMain(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("store %s needs -dir", sub)
 	}
+	spec, err := parseBackendSpec(*backendKind, *nodes)
+	if err != nil {
+		return err
+	}
 	switch sub {
 	case "put":
-		return storePut(*dir, *in, *name, *useRS, *nodes, *racks, *blockSize, *stream)
+		return storePut(*dir, spec, *in, *name, *useRS, *racks, *blockSize, *stream)
 	case "get":
-		return storeGet(*dir, *name, *out, *stream)
+		return storeGet(*dir, spec, *name, *out, *stream)
 	case "kill-node":
-		return storeSetNode(*dir, *node, false)
+		return storeSetNode(*dir, spec, *node, false)
 	case "revive-node":
-		return storeSetNode(*dir, *node, true)
+		return storeSetNode(*dir, spec, *node, true)
 	case "corrupt":
-		return storeCorrupt(*dir, *name, *stripeIdx, *blockIdx, *silent)
+		return storeCorrupt(*dir, spec, *name, *stripeIdx, *blockIdx, *silent)
 	case "scrub":
-		return storeScrub(*dir, *workers, *scrubRate, *repairRate)
+		return storeScrub(*dir, spec, *workers, *scrubRate, *repairRate)
 	case "repair-drain":
-		return storeRepairDrain(*dir, *workers, *repairRate)
+		return storeRepairDrain(*dir, spec, *workers, *repairRate)
 	case "stats":
-		return storeStats(*dir)
+		return storeStats(*dir, spec)
 	default:
 		storeUsage()
 		return nil
 	}
 }
 
+// backendSpec is how the CLI reaches block bytes: subdirectories of the
+// store directory, or a fleet of TCP block servers.
+type backendSpec struct {
+	kind  string   // "dir" or "net"
+	addrs []string // net: one host:port per store node
+	count int      // node count (net: len(addrs); dir: first-put count)
+}
+
+// parseBackendSpec interprets -backend and -nodes together: the -nodes
+// flag is a node count for the dir backend and an address list for the
+// net backend.
+func parseBackendSpec(kind, nodes string) (backendSpec, error) {
+	switch kind {
+	case "dir":
+		n, err := strconv.Atoi(nodes)
+		if err != nil || n < 1 {
+			return backendSpec{}, fmt.Errorf("-backend dir needs -nodes to be a positive node count, got %q", nodes)
+		}
+		return backendSpec{kind: kind, count: n}, nil
+	case "net":
+		addrs := strings.Split(nodes, ",")
+		for i, a := range addrs {
+			addrs[i] = strings.TrimSpace(a)
+			if !strings.Contains(addrs[i], ":") {
+				return backendSpec{}, fmt.Errorf("-backend net needs -nodes as host:port,host:port,...; %q has no port", a)
+			}
+		}
+		return backendSpec{kind: kind, addrs: addrs, count: len(addrs)}, nil
+	default:
+		return backendSpec{}, fmt.Errorf("unknown -backend %q (want dir or net)", kind)
+	}
+}
+
+// open builds the block backend for a store rooted at dir.
+func (bs backendSpec) open(dir string) (store.Backend, error) {
+	if bs.kind == "net" {
+		return netblock.Dial(bs.addrs, netblock.Options{})
+	}
+	return store.NewDirBackend(filepath.Join(dir, "blocks"))
+}
+
+// wireLine formats the wire-traffic totals, empty for in-process
+// backends.
+func wireLine(m store.Metrics) string {
+	if m.WireSentBytes == 0 && m.WireRecvBytes == 0 {
+		return ""
+	}
+	return fmt.Sprintf("wire: %d bytes sent / %d bytes received\n", m.WireSentBytes, m.WireRecvBytes)
+}
+
 func storeStatePath(dir string) string { return filepath.Join(dir, "store.json") }
+
+// backendMarkerPath records which backend kind a store was created with,
+// so a net-backed store opened without its flags fails fast instead of
+// presenting as an empty dir store (and vice versa). Stores predating
+// the marker were always dir-backed.
+func backendMarkerPath(dir string) string { return filepath.Join(dir, "backend") }
+
+// checkBackendKind validates spec against the store's recorded backend
+// kind.
+func checkBackendKind(dir string, spec backendSpec) error {
+	b, err := os.ReadFile(backendMarkerPath(dir))
+	recorded := "dir"
+	if err == nil {
+		recorded = strings.TrimSpace(string(b))
+	}
+	if recorded != spec.kind {
+		return fmt.Errorf("store at %s was created with -backend %s; re-run with -backend %s (and -nodes for net)", dir, recorded, recorded)
+	}
+	return nil
+}
 
 // codecByName maps a snapshot's codec string back to a constructor.
 func codecByName(n string) (store.Codec, error) {
@@ -122,19 +206,23 @@ func codecByName(n string) (store.Codec, error) {
 
 // openStore loads an existing on-disk store, inferring the codec from the
 // saved state.
-func openStore(dir string) (*store.Store, error) {
-	return openStoreRates(dir, 0, 0)
+func openStore(dir string, spec backendSpec) (*store.Store, error) {
+	return openStoreRates(dir, spec, 0, 0)
 }
 
 // openStoreRates is openStore with read-rate budgets for the background
 // datapaths (bytes/sec, 0 = unlimited).
-func openStoreRates(dir string, repairRate, scrubRate int64) (*store.Store, error) {
+func openStoreRates(dir string, spec backendSpec, repairRate, scrubRate int64) (*store.Store, error) {
 	blob, err := os.ReadFile(storeStatePath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
 	}
+	if err := checkBackendKind(dir, spec); err != nil {
+		return nil, err
+	}
 	var peek struct {
 		Codec string `json:"codec"`
+		Nodes int    `json:"nodes"`
 	}
 	if err := json.Unmarshal(blob, &peek); err != nil {
 		return nil, err
@@ -143,7 +231,10 @@ func openStoreRates(dir string, repairRate, scrubRate int64) (*store.Store, erro
 	if err != nil {
 		return nil, err
 	}
-	be, err := store.NewDirBackend(filepath.Join(dir, "blocks"))
+	if spec.kind == "net" && len(spec.addrs) != peek.Nodes {
+		return nil, fmt.Errorf("store has %d nodes but -nodes lists %d addresses", peek.Nodes, len(spec.addrs))
+	}
+	be, err := spec.open(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +255,7 @@ func saveStore(dir string, s *store.Store) error {
 	return os.WriteFile(storeStatePath(dir), blob, 0o644)
 }
 
-func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, stream bool) error {
+func storePut(dir string, spec backendSpec, in, name string, useRS bool, racks, blockSize int, stream bool) error {
 	if in == "" {
 		return fmt.Errorf("store put needs -in")
 	}
@@ -176,7 +267,7 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, str
 	}
 	var s *store.Store
 	if _, err := os.Stat(storeStatePath(dir)); err == nil {
-		if s, err = openStore(dir); err != nil {
+		if s, err = openStore(dir, spec); err != nil {
 			return err
 		}
 		if useRS && !strings.HasPrefix(s.Codec().Name(), "RS") {
@@ -186,7 +277,7 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, str
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
-		be, err := store.NewDirBackend(filepath.Join(dir, "blocks"))
+		be, err := spec.open(dir)
 		if err != nil {
 			return err
 		}
@@ -194,8 +285,11 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, str
 		if useRS {
 			codec = store.NewRS104Codec()
 		}
-		s, err = store.New(store.Config{Codec: codec, Backend: be, Nodes: nodes, Racks: racks, BlockSize: blockSize})
+		s, err = store.New(store.Config{Codec: codec, Backend: be, Nodes: spec.count, Racks: racks, BlockSize: blockSize})
 		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(backendMarkerPath(dir), []byte(spec.kind+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
@@ -237,14 +331,15 @@ func storePut(dir, in, name string, useRS bool, nodes, racks, blockSize int, str
 	fmt.Printf("put %s: %d bytes as %s over %d nodes / %d racks (%d blocks, %d bytes written) in %v (%s)\n",
 		name, size, s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes,
 		elapsed.Round(time.Millisecond), mbps(size, elapsed))
+	fmt.Print(wireLine(m))
 	return nil
 }
 
-func storeGet(dir, name, out string, stream bool) error {
+func storeGet(dir string, spec backendSpec, name, out string, stream bool) error {
 	if name == "" {
 		return fmt.Errorf("store get needs -name")
 	}
-	s, err := openStore(dir)
+	s, err := openStore(dir, spec)
 	if err != nil {
 		return err
 	}
@@ -302,14 +397,15 @@ func storeGet(dir, name, out string, stream bool) error {
 	fmt.Fprintf(report, "get %s: %d bytes, %s; read %d blocks / %d bytes in %v (%s)\n",
 		name, size, mode, info.BlocksRead, info.BytesRead,
 		elapsed.Round(time.Millisecond), mbps(size, elapsed))
+	fmt.Fprint(report, wireLine(s.Metrics()))
 	return nil
 }
 
-func storeSetNode(dir string, node int, up bool) error {
+func storeSetNode(dir string, spec backendSpec, node int, up bool) error {
 	if node < 0 {
 		return fmt.Errorf("need -node")
 	}
-	s, err := openStore(dir)
+	s, err := openStore(dir, spec)
 	if err != nil {
 		return err
 	}
@@ -326,11 +422,14 @@ func storeSetNode(dir string, node int, up bool) error {
 	return saveStore(dir, s)
 }
 
-func storeCorrupt(dir, name string, stripe, pos int, silent bool) error {
+func storeCorrupt(dir string, spec backendSpec, name string, stripe, pos int, silent bool) error {
 	if name == "" {
 		return fmt.Errorf("store corrupt needs -name")
 	}
-	s, err := openStore(dir)
+	if spec.kind != "dir" {
+		return fmt.Errorf("store corrupt edits block files directly and needs -backend dir (corrupt a net node's files on its own machine instead)")
+	}
+	s, err := openStore(dir, spec)
 	if err != nil {
 		return err
 	}
@@ -365,8 +464,8 @@ func storeCorrupt(dir, name string, stripe, pos int, silent bool) error {
 	return nil
 }
 
-func storeScrub(dir string, workers int, scrubRate, repairRate int64) error {
-	s, err := openStoreRates(dir, repairRate, scrubRate)
+func storeScrub(dir string, spec backendSpec, workers int, scrubRate, repairRate int64) error {
+	s, err := openStoreRates(dir, spec, repairRate, scrubRate)
 	if err != nil {
 		return err
 	}
@@ -385,6 +484,7 @@ func storeScrub(dir string, workers int, scrubRate, repairRate int64) error {
 		m.RepairedBlocks, m.RepairedBytes, m.RepairsLight, m.RepairsHeavy,
 		m.RepairBlocksRead, m.RepairBytesRead,
 		elapsed.Round(time.Millisecond), mbps(m.RepairedBytes, elapsed))
+	fmt.Print(wireLine(m))
 	return saveStore(dir, s)
 }
 
@@ -392,8 +492,8 @@ func storeScrub(dir string, workers int, scrubRate, repairRate int64) error {
 // presence walk (no reads, no CRC work) feeds the queue, then the worker
 // pool drains it. The per-invocation barrier a kill-node workflow needs,
 // without paying for a full integrity walk.
-func storeRepairDrain(dir string, workers int, repairRate int64) error {
-	s, err := openStoreRates(dir, repairRate, 0)
+func storeRepairDrain(dir string, spec backendSpec, workers int, repairRate int64) error {
+	s, err := openStoreRates(dir, spec, repairRate, 0)
 	if err != nil {
 		return err
 	}
@@ -412,11 +512,12 @@ func storeRepairDrain(dir string, workers int, repairRate int64) error {
 		m.RepairedBlocks, m.RepairedBytes, m.RepairsLight, m.RepairsHeavy,
 		m.RepairBlocksRead, m.RepairBytesRead,
 		elapsed.Round(time.Millisecond), mbps(m.RepairedBytes, elapsed))
+	fmt.Print(wireLine(m))
 	return saveStore(dir, s)
 }
 
-func storeStats(dir string) error {
-	s, err := openStore(dir)
+func storeStats(dir string, spec backendSpec) error {
+	s, err := openStore(dir, spec)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,288 @@
+package netblock
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Options tunes a Client. Zero fields take defaults.
+type Options struct {
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Timeout is the per-operation IO deadline covering the request
+	// write and the response read (default 10s) — a hung node surfaces
+	// as a failed block op, which the store treats like any other read
+	// failure and reconstructs around.
+	Timeout time.Duration
+	// Retries is how many extra attempts an operation gets after a
+	// transport failure, each on a freshly dialed connection (default 2).
+	// Application-level failures (not-found, remote errors) never retry:
+	// the node answered, the answer stands.
+	Retries int
+	// PoolSize caps the idle connections kept per node (default 2 — the
+	// store's read pool fans out to 4 workers, but those spread over k
+	// distinct nodes under rack-aware placement).
+	PoolSize int
+}
+
+func (o *Options) fillDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+}
+
+// clientNode is one remote node: its address, idle-connection pool and
+// wire counters.
+type clientNode struct {
+	mu   sync.Mutex
+	addr string
+	idle []net.Conn
+
+	sent, recv atomic.Int64
+}
+
+// Client implements store.Backend across N remote block servers: node i
+// of the store maps to nodes[i] of the address list, so a 16-wide LRC
+// stripe spreads over 16 node processes exactly as it spreads over 16
+// directories under a DirBackend. Connections are pooled per node;
+// failed operations retry on fresh connections up to Options.Retries
+// times; every request and response byte is counted per node, which is
+// how the paper's repair-traffic claim is measured on the wire
+// (store.Metrics surfaces the totals as WireSentBytes/WireRecvBytes).
+//
+// Client also implements store.OwnedWriter: a WriteOwned's buffer is
+// fully drained to the socket before return, so taking ownership is
+// free — the streaming put and repair paths then skip their defensive
+// copies.
+type Client struct {
+	opts  Options
+	nodes []*clientNode
+}
+
+// Dial builds a client over the given node addresses (host:port, one
+// per store node). No connections are opened until the first operation,
+// so a cluster can be wired up before every node is listening.
+func Dial(addrs []string, opts Options) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("netblock: no node addresses")
+	}
+	opts.fillDefaults()
+	c := &Client{opts: opts, nodes: make([]*clientNode, len(addrs))}
+	for i, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("netblock: empty address for node %d", i)
+		}
+		c.nodes[i] = &clientNode{addr: a}
+	}
+	return c, nil
+}
+
+// Nodes returns how many node addresses the client spans.
+func (c *Client) Nodes() int { return len(c.nodes) }
+
+// SetNode repoints node to addr — a node that came back on a new port
+// (or a replacement process) slots in without rebuilding the client.
+// Pooled connections to the old address are dropped.
+func (c *Client) SetNode(node int, addr string) error {
+	n, err := c.node(node)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.addr = addr
+	idle := n.idle
+	n.idle = nil
+	n.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// Close drops every pooled connection. The client remains usable (new
+// operations dial afresh); Close exists so tests and the CLI exit
+// without lingering sockets.
+func (c *Client) Close() error {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		idle := n.idle
+		n.idle = nil
+		n.mu.Unlock()
+		for _, conn := range idle {
+			conn.Close()
+		}
+	}
+	return nil
+}
+
+// WireTraffic implements store.WireStats: cumulative protocol bytes
+// sent to and received from each node (headers + keys + payloads; TCP/IP
+// framing excluded). Index i is store node i.
+func (c *Client) WireTraffic() (sent, recv []int64) {
+	sent = make([]int64, len(c.nodes))
+	recv = make([]int64, len(c.nodes))
+	for i, n := range c.nodes {
+		sent[i] = n.sent.Load()
+		recv[i] = n.recv.Load()
+	}
+	return sent, recv
+}
+
+func (c *Client) node(node int) (*clientNode, error) {
+	if node < 0 || node >= len(c.nodes) {
+		return nil, fmt.Errorf("netblock: node %d out of range [0,%d)", node, len(c.nodes))
+	}
+	return c.nodes[node], nil
+}
+
+// getConn pops an idle connection (pooled=true) or dials a fresh one.
+func (c *Client) getConn(n *clientNode) (conn net.Conn, pooled bool, err error) {
+	n.mu.Lock()
+	if len(n.idle) > 0 {
+		conn := n.idle[len(n.idle)-1]
+		n.idle = n.idle[:len(n.idle)-1]
+		n.mu.Unlock()
+		return conn, true, nil
+	}
+	addr := n.addr
+	n.mu.Unlock()
+	conn, err = net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	return conn, false, err
+}
+
+// putConn returns a healthy connection to the pool, or closes it when
+// the pool is full or the node has been re-addressed since.
+func (c *Client) putConn(n *clientNode, conn net.Conn) {
+	n.mu.Lock()
+	if len(n.idle) < c.opts.PoolSize {
+		n.idle = append(n.idle, conn)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	conn.Close()
+}
+
+// do runs one request against a node with bounded retries. Transport
+// errors burn the connection and retry; status-level replies are final.
+// Failures on pooled connections are free — a node that restarted since
+// the pool filled leaves up to PoolSize dead sockets behind, and
+// charging those against the retry budget could declare a healthy node
+// unreachable before a single fresh dial — only freshly dialed attempts
+// count. The returned payload is the response body (block bytes for
+// reads).
+func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) {
+	n, err := c.node(node)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; {
+		conn, pooled, err := c.getConn(n)
+		if err != nil {
+			lastErr = err
+			attempt++
+			continue
+		}
+		status, body, err := c.roundTrip(n, conn, op, node, key, data)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			if !pooled {
+				attempt++
+			}
+			continue
+		}
+		c.putConn(n, conn)
+		switch status {
+		case statusOK:
+			return body, nil
+		case statusNotFound:
+			return nil, fmt.Errorf("%w: node %d key %q", store.ErrNotFound, node, key)
+		default:
+			return nil, fmt.Errorf("netblock: node %d: remote error: %s", node, body)
+		}
+	}
+	return nil, fmt.Errorf("netblock: node %d (%s) unreachable after %d attempts: %w",
+		node, n.addrSnapshot(), c.opts.Retries+1, lastErr)
+}
+
+func (n *clientNode) addrSnapshot() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addr
+}
+
+// roundTrip performs one framed request/response on conn under the IO
+// deadline, charging the node's wire counters for exactly the protocol
+// bytes moved. The payload goes out as one vectored write alongside the
+// header+key (writev on a TCP conn): no staging copy of the block, so
+// WriteOwned's zero-copy claim holds all the way to the socket.
+func (c *Client) roundTrip(n *clientNode, conn net.Conn, op byte, node int, key string, data []byte) (byte, []byte, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+		return 0, nil, err
+	}
+	hdr := appendHeader(make([]byte, 0, reqHeaderLen+len(key)), op, node, key, len(data))
+	if len(data) > 0 {
+		bufs := net.Buffers{hdr, data}
+		if _, err := bufs.WriteTo(conn); err != nil {
+			return 0, nil, err
+		}
+	} else if _, err := conn.Write(hdr); err != nil {
+		return 0, nil, err
+	}
+	n.sent.Add(requestWireLen(key, data))
+	status, body, wire, err := readResponse(conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	n.recv.Add(wire)
+	return status, body, nil
+}
+
+// Write implements store.Backend.
+func (c *Client) Write(node int, key string, data []byte) error {
+	_, err := c.do(node, opWrite, key, data)
+	return err
+}
+
+// WriteOwned implements store.OwnedWriter: the buffer is sent (or the
+// operation has failed) by return time, so ownership costs nothing and
+// the store's zero-copy put/repair paths stay zero-copy up to the
+// socket.
+func (c *Client) WriteOwned(node int, key string, data []byte) error {
+	return c.Write(node, key, data)
+}
+
+// Read implements store.Backend.
+func (c *Client) Read(node int, key string) ([]byte, error) {
+	return c.do(node, opRead, key, nil)
+}
+
+// Delete implements store.Backend.
+func (c *Client) Delete(node int, key string) error {
+	_, err := c.do(node, opDelete, key, nil)
+	return err
+}
+
+// Ping checks liveness of one node over a pooled connection.
+func (c *Client) Ping(node int) error {
+	_, err := c.do(node, opPing, "", nil)
+	return err
+}

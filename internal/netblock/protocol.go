@@ -1,0 +1,156 @@
+// Package netblock moves the store's blocks over real TCP: a Server
+// exposes one node process's storage (any store.Backend — dir or mem)
+// through a length-prefixed binary protocol, and a Client implements
+// store.Backend across N host:port nodes, so repair traffic becomes
+// actual network traffic instead of in-process counters. Block payloads
+// are the store's CRC-framed blocks passed through untouched: the same
+// 4-byte CRC32C header that guards a block on disk guards it on the
+// wire, end to end, with no re-framing at either side.
+//
+// Wire format (all integers little-endian):
+//
+//	request:  op(1) node(u32) keyLen(u16) dataLen(u32) key data
+//	response: status(1) dataLen(u32) data
+//
+// op is one of opWrite/opRead/opDelete/opPing; data is the framed block
+// for writes, empty otherwise. status is statusOK (data = block bytes on
+// reads), statusNotFound, or statusError (data = error message). One
+// request is answered by exactly one response, in order, so a connection
+// carries a simple call/reply stream and pools trivially.
+package netblock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Protocol ops.
+const (
+	opWrite  = 'W'
+	opRead   = 'R'
+	opDelete = 'D'
+	opPing   = 'P'
+)
+
+// Response statuses.
+const (
+	statusOK       = 0
+	statusNotFound = 1
+	statusError    = 2
+)
+
+const (
+	reqHeaderLen  = 1 + 4 + 2 + 4
+	respHeaderLen = 1 + 4
+	// maxKeyLen bounds a block key on the wire; store keys are short
+	// (name.gNNNNNN.sNNNNN.bNN) and the cap keeps a corrupt header from
+	// provoking a giant allocation.
+	maxKeyLen = 4096
+	// maxDataLen bounds one framed block on the wire (1 GiB; the paper's
+	// 256 MB blocks fit with room). Same corrupt-header defense.
+	maxDataLen = 1 << 30
+)
+
+// request is one decoded client request.
+type request struct {
+	op   byte
+	node int
+	key  string
+	data []byte
+}
+
+// appendHeader encodes a request's header and key onto dst and returns
+// the extended slice; the payload is not copied in — the client sends
+// header+key and the payload as one vectored write, so a block write
+// never copies its (possibly multi-MiB) payload into a staging buffer.
+func appendHeader(dst []byte, op byte, node int, key string, dataLen int) []byte {
+	var hdr [reqHeaderLen]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(node))
+	binary.LittleEndian.PutUint16(hdr[5:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[7:], uint32(dataLen))
+	dst = append(dst, hdr[:]...)
+	return append(dst, key...)
+}
+
+// appendRequest encodes a whole request onto dst — appendHeader plus the
+// payload, for callers (tests) that want the exact wire image.
+func appendRequest(dst []byte, op byte, node int, key string, data []byte) []byte {
+	return append(appendHeader(dst, op, node, key, len(data)), data...)
+}
+
+// requestWireLen is the exact wire size of a request — the client's
+// sent-bytes accounting.
+func requestWireLen(key string, data []byte) int64 {
+	return int64(reqHeaderLen + len(key) + len(data))
+}
+
+// readRequest decodes one request from r (the server side).
+func readRequest(r io.Reader) (request, error) {
+	var hdr [reqHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return request{}, err
+	}
+	req := request{op: hdr[0], node: int(int32(binary.LittleEndian.Uint32(hdr[1:])))}
+	keyLen := int(binary.LittleEndian.Uint16(hdr[5:]))
+	// Compare the data length unconverted: on a 32-bit int a corrupt
+	// 0xFFFFFFFF header would wrap negative, slip past the limit and
+	// panic the make below.
+	dataLen64 := uint64(binary.LittleEndian.Uint32(hdr[7:]))
+	if keyLen > maxKeyLen {
+		return request{}, fmt.Errorf("netblock: key length %d exceeds limit %d", keyLen, maxKeyLen)
+	}
+	if dataLen64 > maxDataLen {
+		return request{}, fmt.Errorf("netblock: block length %d exceeds limit %d", dataLen64, maxDataLen)
+	}
+	dataLen := int(dataLen64)
+	switch req.op {
+	case opWrite, opRead, opDelete, opPing:
+	default:
+		return request{}, fmt.Errorf("netblock: unknown op %q", req.op)
+	}
+	buf := make([]byte, keyLen+dataLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return request{}, err
+	}
+	req.key = string(buf[:keyLen])
+	req.data = buf[keyLen:]
+	return req, nil
+}
+
+// writeResponse encodes one response onto w (the server side).
+func writeResponse(w io.Writer, status byte, data []byte) error {
+	var hdr [respHeaderLen]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResponse decodes one response from r (the client side), returning
+// the status, payload and exact wire byte count read.
+func readResponse(r io.Reader) (status byte, data []byte, wire int64, err error) {
+	var hdr [respHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	// Unconverted comparison for the same 32-bit wrap reason as
+	// readRequest.
+	dataLen64 := uint64(binary.LittleEndian.Uint32(hdr[1:]))
+	if dataLen64 > maxDataLen {
+		return 0, nil, 0, fmt.Errorf("netblock: response length %d exceeds limit %d", dataLen64, maxDataLen)
+	}
+	data = make([]byte, int(dataLen64))
+	if _, err := io.ReadFull(r, data); err != nil {
+		return 0, nil, 0, err
+	}
+	return hdr[0], data, int64(respHeaderLen + len(data)), nil
+}

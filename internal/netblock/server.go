@@ -1,0 +1,218 @@
+package netblock
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Server exposes a store.Backend over TCP. One server is one node
+// process in a real cluster: the CLI's `xorbasctl node serve` wraps a
+// DirBackend in one of these, and examples/netcluster boots a fleet of
+// them on loopback. The node id travels in each request and is passed
+// through to the backend unchanged, so a server's on-disk layout matches
+// the in-process DirBackend layout exactly.
+type Server struct {
+	be store.Backend
+	// Logf, when non-nil, receives per-connection errors (protocol
+	// violations, IO failures). The zero value drops them: a killed
+	// client is business as usual for a block server.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server for be; call ListenAndServe or Serve to
+// start it.
+func NewServer(be store.Backend) *Server {
+	return &Server{be: be, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve wraps NewServer(be).Serve(l) for the one-liner case. It blocks
+// until the listener fails or is closed.
+func Serve(l net.Listener, be store.Backend) error {
+	return NewServer(be).Serve(l)
+}
+
+// StartLocal boots a server for be on an ephemeral loopback port,
+// serving in a background goroutine, and returns it with its dialable
+// address — the one-liner behind every in-process cluster (tests,
+// benchmarks, examples). Stop it with Close.
+func StartLocal(be store.Backend) (*Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := NewServer(be)
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// ListenAndServe listens on addr and serves until Close. The bound
+// address is available from Addr once this returns a non-nil listener —
+// use Listen + Serve when the caller needs the port before serving
+// (loopback tests listen on ":0").
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on l until l is closed (by Close or
+// externally), handling each connection's call/reply stream in its own
+// goroutine. A listener already shut down by Close is rejected.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("netblock: server closed")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the listening address, nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close hard-stops the server: the listener and every open connection
+// are closed immediately, mid-request — the SIGKILL equivalent the
+// chaos tests lean on. In-flight handlers exit on their next IO. Close
+// waits for them, so when it returns the backend is quiescent and can
+// be handed to a replacement server. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// logf reports a connection-level error through Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// handle runs one connection's request loop: decode, execute against the
+// backend, reply. Backend failures are answered (statusNotFound /
+// statusError), not dropped, so the client can tell "block missing" from
+// "node unreachable"; only transport or protocol errors end the
+// connection.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := readRequest(br)
+		if err != nil {
+			// A clean disconnect between requests arrives as io.EOF;
+			// anything else is worth surfacing to Logf.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("netblock: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		status, data := s.execute(&req)
+		if err := writeResponse(bw, status, data); err != nil {
+			s.logf("netblock: %s: write response: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			s.logf("netblock: %s: flush: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// execute runs one decoded request against the backend.
+func (s *Server) execute(req *request) (status byte, data []byte) {
+	switch req.op {
+	case opWrite:
+		if err := s.be.Write(req.node, req.key, req.data); err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, nil
+	case opRead:
+		b, err := s.be.Read(req.node, req.key)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				return statusNotFound, nil
+			}
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, b
+	case opDelete:
+		if err := s.be.Delete(req.node, req.key); err != nil {
+			return statusError, []byte(err.Error())
+		}
+		return statusOK, nil
+	case opPing:
+		return statusOK, nil
+	default:
+		// readRequest already rejected unknown ops; belt and braces.
+		return statusError, []byte("netblock: unknown op")
+	}
+}

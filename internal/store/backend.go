@@ -38,6 +38,15 @@ type OwnedWriter interface {
 	WriteOwned(node int, key string, data []byte) error
 }
 
+// WireStats is an optional Backend extension for backends that move
+// blocks over a network: cumulative protocol bytes sent to and received
+// from each node. Store.Metrics folds the totals in as
+// WireSentBytes/WireRecvBytes, so the paper's repair-traffic claim can
+// be read off real wire counters instead of in-process accounting.
+type WireStats interface {
+	WireTraffic() (sent, recv []int64)
+}
+
 // ErrNotFound reports a block absent from a backend.
 var ErrNotFound = errors.New("store: block not found")
 

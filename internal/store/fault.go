@@ -1,0 +1,163 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error FaultBackend returns for an injected failure;
+// tests assert against it to tell chaos from genuine bugs.
+var ErrInjected = fmt.Errorf("store: injected fault")
+
+// Fault is one node's misbehavior profile. The zero value is a healthy
+// node.
+type Fault struct {
+	// ErrRate is the probability in [0,1] that an operation on the node
+	// fails with ErrInjected (flaky NIC, dying disk).
+	ErrRate float64
+	// Latency is added to every operation on the node before it runs —
+	// the slow-node half of a degraded read scenario.
+	Latency time.Duration
+	// CorruptRate is the probability in [0,1] that a Read's payload
+	// comes back with a flipped byte (bit-rot on the wire or platter).
+	// The stored bytes are never touched: corruption is injected on a
+	// copy, exactly like a bad wire.
+	CorruptRate float64
+}
+
+// FaultBackend wraps a Backend with per-node fault injection — the chaos
+// harness behind the degraded-read and repair tests. It forwards
+// OwnedWriter and WireStats to the inner backend when present, so a
+// faulty MemBackend keeps its zero-copy path and a faulty netblock
+// client keeps its wire counters. Safe for concurrent use.
+type FaultBackend struct {
+	inner Backend
+	// ownedW is inner's ownership-transfer path, nil when absent.
+	ownedW OwnedWriter
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults map[int]Fault
+}
+
+// NewFaultBackend wraps inner; seed makes the injected chaos
+// reproducible.
+func NewFaultBackend(inner Backend, seed int64) *FaultBackend {
+	f := &FaultBackend{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: make(map[int]Fault),
+	}
+	if ow, ok := inner.(OwnedWriter); ok {
+		f.ownedW = ow
+	}
+	return f
+}
+
+// SetFault installs node's misbehavior profile, replacing any previous
+// one. A zero Fault heals the node.
+func (f *FaultBackend) SetFault(node int, fl Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fl == (Fault{}) {
+		delete(f.faults, node)
+		return
+	}
+	f.faults[node] = fl
+}
+
+// Inner returns the wrapped backend.
+func (f *FaultBackend) Inner() Backend { return f.inner }
+
+// roll decides one operation's fate for node: the added latency, whether
+// to fail, and whether to corrupt (reads only). One lock hold per op;
+// the sleep happens outside the lock.
+func (f *FaultBackend) roll(node int) (delay time.Duration, fail, corrupt bool) {
+	f.mu.Lock()
+	fl, ok := f.faults[node]
+	if ok {
+		delay = fl.Latency
+		fail = fl.ErrRate > 0 && f.rng.Float64() < fl.ErrRate
+		corrupt = fl.CorruptRate > 0 && f.rng.Float64() < fl.CorruptRate
+	}
+	f.mu.Unlock()
+	return delay, fail, corrupt
+}
+
+// apply sleeps the injected latency and returns the injected error, if
+// any.
+func apply(node int, delay time.Duration, fail bool) error {
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return fmt.Errorf("%w: node %d", ErrInjected, node)
+	}
+	return nil
+}
+
+// Write implements Backend.
+func (f *FaultBackend) Write(node int, key string, data []byte) error {
+	delay, fail, _ := f.roll(node)
+	if err := apply(node, delay, fail); err != nil {
+		return err
+	}
+	return f.inner.Write(node, key, data)
+}
+
+// WriteOwned implements OwnedWriter. When the fault fires the buffer is
+// returned to the caller un-stored (ownership transfers only on
+// success, matching the contract); when the inner backend has no owned
+// path the write degrades to a copying Write, which satisfies ownership
+// trivially.
+func (f *FaultBackend) WriteOwned(node int, key string, data []byte) error {
+	delay, fail, _ := f.roll(node)
+	if err := apply(node, delay, fail); err != nil {
+		return err
+	}
+	if f.ownedW != nil {
+		return f.ownedW.WriteOwned(node, key, data)
+	}
+	return f.inner.Write(node, key, data)
+}
+
+// Read implements Backend. Injected corruption flips one byte of a copy
+// of the block — the inner backend's stored bytes (which Read may alias)
+// stay pristine, so the same block can read clean on the next attempt,
+// exactly like a transient wire fault.
+func (f *FaultBackend) Read(node int, key string) ([]byte, error) {
+	delay, fail, corrupt := f.roll(node)
+	if err := apply(node, delay, fail); err != nil {
+		return nil, err
+	}
+	b, err := f.inner.Read(node, key)
+	if err != nil || !corrupt || len(b) == 0 {
+		return b, err
+	}
+	nb := append([]byte(nil), b...)
+	f.mu.Lock()
+	i := f.rng.Intn(len(nb))
+	f.mu.Unlock()
+	nb[i] ^= 0x55
+	return nb, nil
+}
+
+// Delete implements Backend.
+func (f *FaultBackend) Delete(node int, key string) error {
+	delay, fail, _ := f.roll(node)
+	if err := apply(node, delay, fail); err != nil {
+		return err
+	}
+	return f.inner.Delete(node, key)
+}
+
+// WireTraffic implements WireStats by delegation; a non-networked inner
+// backend reports nil.
+func (f *FaultBackend) WireTraffic() (sent, recv []int64) {
+	if ws, ok := f.inner.(WireStats); ok {
+		return ws.WireTraffic()
+	}
+	return nil, nil
+}

@@ -120,10 +120,33 @@ type Metrics struct {
 	// BlockFixer — the numerator of repair throughput (MB/s repaired).
 	RepairedBytes              int64
 	RepairsLight, RepairsHeavy int64
+	// Wire totals, present when the backend implements WireStats (the
+	// TCP netblock client): cumulative protocol bytes sent to and
+	// received from all nodes. These count what actually crossed the
+	// network, so the LRC-vs-RS repair comparison holds on real traffic.
+	WireSentBytes, WireRecvBytes int64
+}
+
+// WireTraffic returns the backend's per-node wire counters, nil when
+// the backend is not networked — the per-node view behind the Metrics
+// totals (which node a repair actually pulled its source blocks from).
+func (s *Store) WireTraffic() (sent, recv []int64) {
+	ws, ok := s.cfg.Backend.(WireStats)
+	if !ok {
+		return nil, nil
+	}
+	return ws.WireTraffic()
 }
 
 // Metrics returns a snapshot of the store's counters.
 func (s *Store) Metrics() Metrics {
+	var wireSent, wireRecv int64
+	if sent, recv := s.WireTraffic(); sent != nil {
+		for i := range sent {
+			wireSent += sent[i]
+			wireRecv += recv[i]
+		}
+	}
 	return Metrics{
 		PutBlocks:          s.m.putBlocks.Load(),
 		PutBytes:           s.m.putBytes.Load(),
@@ -143,5 +166,7 @@ func (s *Store) Metrics() Metrics {
 		RepairedBytes:      s.m.repairedBytes.Load(),
 		RepairsLight:       s.m.repairsLight.Load(),
 		RepairsHeavy:       s.m.repairsHeavy.Load(),
+		WireSentBytes:      wireSent,
+		WireRecvBytes:      wireRecv,
 	}
 }
