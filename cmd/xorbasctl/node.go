@@ -36,7 +36,9 @@ func nodeMain(args []string) error {
 	}
 	fs := flag.NewFlagSet("node serve", flag.ExitOnError)
 	dir := fs.String("dir", "", "block directory this node serves")
-	listen := fs.String("listen", ":7001", "TCP address to listen on")
+	// Loopback by default: the protocol is unauthenticated, so exposing a
+	// node beyond the host is an explicit operator choice (-listen :7001).
+	listen := fs.String("listen", "127.0.0.1:7001", "TCP address to listen on")
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}

@@ -17,10 +17,15 @@ type Options struct {
 	// Timeout is the per-operation IO deadline covering the request
 	// write and the response read (default 10s) — a hung node surfaces
 	// as a failed block op, which the store treats like any other read
-	// failure and reconstructs around.
+	// failure and reconstructs around. Payload bytes get extra budget on
+	// top: the deadline grows by payload/wireFloorRate, so a 256 MB
+	// block over a slow link is not condemned by a deadline sized for
+	// pings.
 	Timeout time.Duration
 	// Retries is how many extra attempts an operation gets after a
-	// transport failure, each on a freshly dialed connection (default 2).
+	// transport failure, each on a freshly dialed connection. The zero
+	// value means "use the default" (2), so to disable retries entirely
+	// set any negative value, which is clamped to zero extra attempts.
 	// Application-level failures (not-found, remote errors) never retry:
 	// the node answered, the answer stands.
 	Retries int
@@ -152,25 +157,31 @@ func (c *Client) node(node int) (*clientNode, error) {
 }
 
 // getConn pops an idle connection (pooled=true) or dials a fresh one.
-func (c *Client) getConn(n *clientNode) (conn net.Conn, pooled bool, err error) {
+// addr is the node address the connection belongs to — putConn uses it
+// to spot connections that outlived a SetNode.
+func (c *Client) getConn(n *clientNode) (conn net.Conn, addr string, pooled bool, err error) {
 	n.mu.Lock()
 	if len(n.idle) > 0 {
 		conn := n.idle[len(n.idle)-1]
 		n.idle = n.idle[:len(n.idle)-1]
+		addr := n.addr
 		n.mu.Unlock()
-		return conn, true, nil
+		return conn, addr, true, nil
 	}
-	addr := n.addr
+	addr = n.addr
 	n.mu.Unlock()
 	conn, err = net.DialTimeout("tcp", addr, c.opts.DialTimeout)
-	return conn, false, err
+	return conn, addr, false, err
 }
 
 // putConn returns a healthy connection to the pool, or closes it when
-// the pool is full or the node has been re-addressed since.
-func (c *Client) putConn(n *clientNode, conn net.Conn) {
+// the pool is full or the node has been re-addressed since the
+// connection was checked out (SetNode flushes the idle pool, but an
+// in-flight connection completes afterwards — pooling it would let a
+// later operation talk to the old process).
+func (c *Client) putConn(n *clientNode, conn net.Conn, addr string) {
 	n.mu.Lock()
-	if len(n.idle) < c.opts.PoolSize {
+	if addr == n.addr && len(n.idle) < c.opts.PoolSize {
 		n.idle = append(n.idle, conn)
 		n.mu.Unlock()
 		return
@@ -192,9 +203,16 @@ func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
+	// The header's keyLen field is 16 bits: a longer key would encode
+	// truncated and desync the stream, so refuse it here. The server's
+	// own cap is the same, so anything past it would only be rejected
+	// remotely anyway.
+	if len(key) > maxKeyLen {
+		return nil, fmt.Errorf("netblock: key length %d exceeds limit %d", len(key), maxKeyLen)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; {
-		conn, pooled, err := c.getConn(n)
+		conn, addr, pooled, err := c.getConn(n)
 		if err != nil {
 			lastErr = err
 			attempt++
@@ -209,7 +227,7 @@ func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) 
 			}
 			continue
 		}
-		c.putConn(n, conn)
+		c.putConn(n, conn, addr)
 		switch status {
 		case statusOK:
 			return body, nil
@@ -229,13 +247,27 @@ func (n *clientNode) addrSnapshot() string {
 	return n.addr
 }
 
+// wireFloorRate is the slowest link the deadline math tolerates, in
+// bytes per second (4 MiB/s ≈ 34 Mbps): Options.Timeout budgets the
+// headers and turnaround, and each payload byte adds 1/wireFloorRate on
+// top via opTimeout.
+const wireFloorRate = 4 << 20
+
+// opTimeout returns the IO budget for an operation moving n payload
+// bytes: the configured Timeout plus the payload at wireFloorRate.
+func (c *Client) opTimeout(n int) time.Duration {
+	return c.opts.Timeout + time.Duration(n)*time.Second/wireFloorRate
+}
+
 // roundTrip performs one framed request/response on conn under the IO
 // deadline, charging the node's wire counters for exactly the protocol
 // bytes moved. The payload goes out as one vectored write alongside the
 // header+key (writev on a TCP conn): no staging copy of the block, so
-// WriteOwned's zero-copy claim holds all the way to the socket.
+// WriteOwned's zero-copy claim holds all the way to the socket. The
+// deadline scales with the bytes in play — the request payload up
+// front, the response payload once its header announces the size.
 func (c *Client) roundTrip(n *clientNode, conn net.Conn, op byte, node int, key string, data []byte) (byte, []byte, error) {
-	if err := conn.SetDeadline(time.Now().Add(c.opts.Timeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(c.opTimeout(len(data)))); err != nil {
 		return 0, nil, err
 	}
 	hdr := appendHeader(make([]byte, 0, reqHeaderLen+len(key)), op, node, key, len(data))
@@ -248,7 +280,11 @@ func (c *Client) roundTrip(n *clientNode, conn net.Conn, op byte, node int, key 
 		return 0, nil, err
 	}
 	n.sent.Add(requestWireLen(key, data))
-	status, body, wire, err := readResponse(conn)
+	status, body, wire, err := readResponse(conn, func(size int) {
+		if size > 0 {
+			conn.SetDeadline(time.Now().Add(c.opTimeout(size)))
+		}
+	})
 	if err != nil {
 		return 0, nil, err
 	}

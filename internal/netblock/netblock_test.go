@@ -3,7 +3,10 @@ package netblock
 import (
 	"bytes"
 	"errors"
+	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -219,6 +222,117 @@ func TestOversizeKeyRejected(t *testing.T) {
 	}
 }
 
+// TestPayloadOnNonWriteRejected: only writes carry payloads, so a ping
+// claiming one is a protocol violation — the server drops the
+// connection without buffering the claimed bytes, and keeps serving
+// well-formed clients.
+func TestPayloadOnNonWriteRejected(t *testing.T) {
+	be := store.NewMemBackend()
+	_, addr := startServer(t, be)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bogus := appendRequest(nil, opPing, 0, "", []byte("junk"))
+	if _, err := conn.Write(bogus); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a payload-bearing ping instead of dropping the connection")
+	}
+	c := dialTest(t, addr)
+	if err := c.Ping(0); err != nil {
+		t.Fatalf("ping after violation: %v", err)
+	}
+}
+
+// TestHostileRequestsRejected sends wire requests no real client emits —
+// path-traversal keys, ".."/empty keys, a negative node id — and asserts
+// the server answers statusError without the backend ever seeing them.
+// The backend is a DirBackend rooted one level below a temp dir, so a
+// traversal key that slipped through would land a file outside the
+// store root; the test checks none does.
+func TestHostileRequestsRejected(t *testing.T) {
+	root := t.TempDir()
+	be, err := store.NewDirBackend(filepath.Join(root, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, be)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := store.FrameBlock([]byte("owned"))
+	hostile := []struct {
+		op   byte
+		node int
+		key  string
+		data []byte
+	}{
+		{opWrite, 0, "../../escape", payload},
+		{opRead, 0, "../../../../etc/passwd", nil},
+		{opDelete, 0, "..", nil},
+		{opRead, 0, ".", nil},
+		{opWrite, 0, "", payload},
+		{opRead, -1, "obj.g000001.s00000.b00", nil},
+		{opWrite, -7, "obj.g000001.s00000.b00", payload},
+	}
+	for _, tc := range hostile {
+		if _, err := conn.Write(appendRequest(nil, tc.op, tc.node, tc.key, tc.data)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		status, body, _, err := readResponse(conn, nil)
+		if err != nil {
+			t.Fatalf("op %q node %d key %q: %v", tc.op, tc.node, tc.key, err)
+		}
+		if status != statusError {
+			t.Fatalf("op %q node %d key %q: status %d (%q), want statusError",
+				tc.op, tc.node, tc.key, status, body)
+		}
+	}
+	// Nothing escaped the store root: the traversal write would have
+	// landed at root/escape.
+	if _, err := os.Stat(filepath.Join(root, "escape")); !os.IsNotExist(err) {
+		t.Fatalf("traversal write escaped the store root (stat err %v)", err)
+	}
+	// The connection survived the rejections and well-formed requests
+	// still work on it and on fresh clients.
+	c := dialTest(t, addr)
+	if err := c.Ping(0); err != nil {
+		t.Fatalf("ping after hostile requests: %v", err)
+	}
+}
+
+// TestReadBodyBounded exercises readBody's chunked path: a header
+// claiming the protocol-maximum payload backed by a short stream must
+// fail with ErrUnexpectedEOF (having allocated only for the bytes that
+// arrived — a 1 GiB up-front make would OOM long before this test
+// finished on a constrained runner), and a payload just past the eager
+// bound must round-trip byte-exact.
+func TestReadBodyBounded(t *testing.T) {
+	short := strings.NewReader(strings.Repeat("x", readBodyEager+10))
+	if _, err := readBody(short, maxDataLen); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short large read: err = %v, want ErrUnexpectedEOF", err)
+	}
+	src := bytes.Repeat([]byte{0xAB}, readBodyEager+3)
+	got, err := readBody(bytes.NewReader(src), len(src))
+	if err != nil {
+		t.Fatalf("readBody: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("readBody over the eager bound did not round-trip")
+	}
+}
+
 // failingBackend rejects every write with a stable message.
 type failingBackend struct {
 	*store.MemBackend
@@ -232,4 +346,10 @@ func newFailingBackend() *failingBackend {
 func (f *failingBackend) Write(node int, key string, data []byte) error {
 	f.writes.Add(1)
 	return errors.New("disk full")
+}
+
+// WriteOwned keeps the failure visible through the server's owned-write
+// fast path, which would otherwise reach the embedded MemBackend's.
+func (f *failingBackend) WriteOwned(node int, key string, data []byte) error {
+	return f.Write(node, key, data)
 }

@@ -20,6 +20,7 @@
 package netblock
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -86,6 +87,37 @@ func requestWireLen(key string, data []byte) int64 {
 	return int64(reqHeaderLen + len(key) + len(data))
 }
 
+// readBodyEager is the largest payload readBody allocates up front;
+// anything bigger grows only as bytes actually arrive.
+const readBodyEager = 1 << 20
+
+// readBody reads exactly n bytes from r without trusting n for the
+// up-front allocation: a header's length field is attacker-controlled on
+// both sides (a hostile client against the server, a hostile server
+// against the client), so a handful of 11-byte headers claiming
+// dataLen=1<<30 must not pin gigabytes before a single payload byte is
+// sent. Small payloads (every real block today) take the one-allocation
+// fast path; larger ones grow a bytes.Buffer geometrically as data
+// lands, so memory tracks bytes genuinely received.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	if n <= readBodyEager {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var b bytes.Buffer
+	b.Grow(readBodyEager)
+	if _, err := io.CopyN(&b, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
 // readRequest decodes one request from r (the server side).
 func readRequest(r io.Reader) (request, error) {
 	var hdr [reqHeaderLen]byte
@@ -110,8 +142,14 @@ func readRequest(r io.Reader) (request, error) {
 	default:
 		return request{}, fmt.Errorf("netblock: unknown op %q", req.op)
 	}
-	buf := make([]byte, keyLen+dataLen)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	// Only writes carry a payload; a non-write claiming one would make
+	// the server buffer up to maxDataLen per request just to throw it
+	// away, so it is a protocol violation like an unknown op.
+	if req.op != opWrite && dataLen != 0 {
+		return request{}, fmt.Errorf("netblock: op %q carries %d payload bytes", req.op, dataLen)
+	}
+	buf, err := readBody(r, keyLen+dataLen)
+	if err != nil {
 		return request{}, err
 	}
 	req.key = string(buf[:keyLen])
@@ -136,8 +174,11 @@ func writeResponse(w io.Writer, status byte, data []byte) error {
 }
 
 // readResponse decodes one response from r (the client side), returning
-// the status, payload and exact wire byte count read.
-func readResponse(r io.Reader) (status byte, data []byte, wire int64, err error) {
+// the status, payload and exact wire byte count read. onSize, when
+// non-nil, is told the payload length after the header parses and
+// before the body is read; the client uses it to grow the IO deadline
+// in proportion to a large block's size.
+func readResponse(r io.Reader, onSize func(size int)) (status byte, data []byte, wire int64, err error) {
 	var hdr [respHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, 0, err
@@ -148,8 +189,11 @@ func readResponse(r io.Reader) (status byte, data []byte, wire int64, err error)
 	if dataLen64 > maxDataLen {
 		return 0, nil, 0, fmt.Errorf("netblock: response length %d exceeds limit %d", dataLen64, maxDataLen)
 	}
-	data = make([]byte, int(dataLen64))
-	if _, err := io.ReadFull(r, data); err != nil {
+	if onSize != nil {
+		onSize(int(dataLen64))
+	}
+	data, err = readBody(r, int(dataLen64))
+	if err != nil {
 		return 0, nil, 0, err
 	}
 	return hdr[0], data, int64(respHeaderLen + len(data)), nil

@@ -3,6 +3,7 @@ package netblock
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -18,6 +19,10 @@ import (
 // the in-process DirBackend layout exactly.
 type Server struct {
 	be store.Backend
+	// ow is be's owned-write fast path when it has one: a request's
+	// decode buffer is uniquely owned per request, so it can be handed
+	// to the backend without the defensive copy Write implies.
+	ow store.OwnedWriter
 	// Logf, when non-nil, receives per-connection errors (protocol
 	// violations, IO failures). The zero value drops them: a killed
 	// client is business as usual for a block server.
@@ -33,7 +38,9 @@ type Server struct {
 // NewServer returns a server for be; call ListenAndServe or Serve to
 // start it.
 func NewServer(be store.Backend) *Server {
-	return &Server{be: be, conns: make(map[net.Conn]struct{})}
+	s := &Server{be: be, conns: make(map[net.Conn]struct{})}
+	s.ow, _ = be.(store.OwnedWriter)
+	return s
 }
 
 // Serve wraps NewServer(be).Serve(l) for the one-liner case. It blocks
@@ -187,11 +194,58 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// validateRequest vets a decoded request before any backend call. The
+// server cannot trust wire-supplied keys: DirBackend resolves a key as
+// a path under the node directory, so a key like "../../etc/passwd"
+// from any peer that can reach the port would read, overwrite or delete
+// files outside the store. Keys are therefore held to the
+// [A-Za-z0-9._-] charset the store layer already guarantees (see
+// blockKey and the tmpPrefix comment in internal/store), which excludes
+// path separators outright; "." and ".." are the only in-charset names
+// with path meaning and are rejected explicitly. Node ids must be
+// non-negative for every op, and every op but ping needs a key.
+func validateRequest(req *request) error {
+	if req.node < 0 {
+		return fmt.Errorf("netblock: negative node id %d", req.node)
+	}
+	if req.op == opPing {
+		return nil
+	}
+	if req.key == "" {
+		return errors.New("netblock: empty key")
+	}
+	if req.key == "." || req.key == ".." {
+		return fmt.Errorf("netblock: invalid key %q", req.key)
+	}
+	for i := 0; i < len(req.key); i++ {
+		c := req.key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return fmt.Errorf("netblock: invalid key %q: byte %q outside [A-Za-z0-9._-]", req.key, c)
+		}
+	}
+	return nil
+}
+
 // execute runs one decoded request against the backend.
 func (s *Server) execute(req *request) (status byte, data []byte) {
+	if err := validateRequest(req); err != nil {
+		return statusError, []byte(err.Error())
+	}
 	switch req.op {
 	case opWrite:
-		if err := s.be.Write(req.node, req.key, req.data); err != nil {
+		// req.data is this request's decode buffer and nothing reads it
+		// after execute (req.key was copied out as a string), so an
+		// owned-write backend takes it copy-free.
+		var err error
+		if s.ow != nil {
+			err = s.ow.WriteOwned(req.node, req.key, req.data)
+		} else {
+			err = s.be.Write(req.node, req.key, req.data)
+		}
+		if err != nil {
 			return statusError, []byte(err.Error())
 		}
 		return statusOK, nil

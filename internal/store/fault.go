@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -9,7 +10,7 @@ import (
 
 // ErrInjected is the error FaultBackend returns for an injected failure;
 // tests assert against it to tell chaos from genuine bugs.
-var ErrInjected = fmt.Errorf("store: injected fault")
+var ErrInjected = errors.New("store: injected fault")
 
 // Fault is one node's misbehavior profile. The zero value is a healthy
 // node.
