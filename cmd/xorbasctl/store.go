@@ -21,6 +21,14 @@ package main
 // node, and the summaries include the wire traffic. The manifest
 // (store.json) stays in -dir either way. With the default `-backend
 // dir`, -nodes is the simulated node count as before.
+//
+// Every data command also takes `-meta DIR`: the store's manifests then
+// live in a write-ahead-logged metadata plane at DIR (internal/meta), so
+// an acked put survives kill -9 and a reopen recovers from checkpoint +
+// WAL replay instead of the store.json snapshot. Once a store has a
+// plane it is remembered (and auto-detected on later invocations); the
+// plane is authoritative and store.json becomes an export. `-meta none`
+// forces the legacy snapshot-only mode.
 //	xorbasctl store kill-node  -dir DIR -node N
 //	xorbasctl store revive-node -dir DIR -node N
 //	xorbasctl store corrupt    -dir DIR -name NAME [-stripe I] [-block-idx J] [-silent]
@@ -87,6 +95,7 @@ func storeMain(args []string) error {
 	repairRate := fs.Int64("repair-rate", 0, "repair read budget in bytes/sec, 0 = unlimited (scrub / repair-drain)")
 	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget in bytes/sec, 0 = unlimited (scrub)")
 	stream := fs.Bool("stream", false, "stream stripe-by-stripe with bounded memory (put/get; '-' = stdin/stdout)")
+	metaFlag := fs.String("meta", "", "metadata plane directory (WAL + checkpoint; durable acked puts); default: reuse the store's recorded plane; 'none' = snapshot-only")
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -97,27 +106,58 @@ func storeMain(args []string) error {
 	if err != nil {
 		return err
 	}
+	metaDir := resolveMetaDir(*dir, *metaFlag)
 	switch sub {
 	case "put":
-		return storePut(*dir, spec, *in, *name, *useRS, *racks, *blockSize, *stream)
+		return storePut(*dir, spec, metaDir, *in, *name, *useRS, *racks, *blockSize, *stream)
 	case "get":
-		return storeGet(*dir, spec, *name, *out, *stream)
+		return storeGet(*dir, spec, metaDir, *name, *out, *stream)
 	case "kill-node":
-		return storeSetNode(*dir, spec, *node, false)
+		return storeSetNode(*dir, spec, metaDir, *node, false)
 	case "revive-node":
-		return storeSetNode(*dir, spec, *node, true)
+		return storeSetNode(*dir, spec, metaDir, *node, true)
 	case "corrupt":
-		return storeCorrupt(*dir, spec, *name, *stripeIdx, *blockIdx, *silent)
+		return storeCorrupt(*dir, spec, metaDir, *name, *stripeIdx, *blockIdx, *silent)
 	case "scrub":
-		return storeScrub(*dir, spec, *workers, *scrubRate, *repairRate)
+		return storeScrub(*dir, spec, metaDir, *workers, *scrubRate, *repairRate)
 	case "repair-drain":
-		return storeRepairDrain(*dir, spec, *workers, *repairRate)
+		return storeRepairDrain(*dir, spec, metaDir, *workers, *repairRate)
 	case "stats":
-		return storeStats(*dir, spec)
+		return storeStats(*dir, spec, metaDir)
 	default:
 		storeUsage()
 		return nil
 	}
+}
+
+// metaMarkerPath records where a store's metadata plane lives, so later
+// invocations find it without repeating -meta.
+func metaMarkerPath(dir string) string { return filepath.Join(dir, "metadir") }
+
+// resolveMetaDir interprets -meta: an explicit directory wins, "none"
+// forces the legacy snapshot-only mode, and "" falls back to the plane
+// the store was created with (the marker file), if any.
+func resolveMetaDir(dir, flagVal string) string {
+	switch flagVal {
+	case "none":
+		return ""
+	case "":
+		if b, err := os.ReadFile(metaMarkerPath(dir)); err == nil {
+			return strings.TrimSpace(string(b))
+		}
+		return ""
+	default:
+		return flagVal
+	}
+}
+
+// rememberMetaDir persists the marker (best-effort: losing it only costs
+// a -meta flag on the next invocation).
+func rememberMetaDir(dir, metaDir string) {
+	if metaDir == "" {
+		return
+	}
+	_ = os.WriteFile(metaMarkerPath(dir), []byte(metaDir+"\n"), 0o644)
 }
 
 // backendSpec is how the CLI reaches block bytes: subdirectories of the
@@ -206,13 +246,15 @@ func codecByName(n string) (store.Codec, error) {
 
 // openStore loads an existing on-disk store, inferring the codec from the
 // saved state.
-func openStore(dir string, spec backendSpec) (*store.Store, error) {
-	return openStoreRates(dir, spec, 0, 0)
+func openStore(dir string, spec backendSpec, metaDir string) (*store.Store, error) {
+	return openStoreRates(dir, spec, metaDir, 0, 0)
 }
 
 // openStoreRates is openStore with read-rate budgets for the background
-// datapaths (bytes/sec, 0 = unlimited).
-func openStoreRates(dir string, spec backendSpec, repairRate, scrubRate int64) (*store.Store, error) {
+// datapaths (bytes/sec, 0 = unlimited). With a metaDir, the plane is
+// authoritative for manifests (store.json imports only into an empty
+// plane — the migration path) and this invocation's commits hit its WAL.
+func openStoreRates(dir string, spec backendSpec, metaDir string, repairRate, scrubRate int64) (*store.Store, error) {
 	blob, err := os.ReadFile(storeStatePath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
@@ -238,24 +280,36 @@ func openStoreRates(dir string, spec backendSpec, repairRate, scrubRate int64) (
 	if err != nil {
 		return nil, err
 	}
-	return store.Restore(store.Config{
+	s, err := store.Restore(store.Config{
 		Codec:           codec,
 		Backend:         be,
+		MetaDir:         metaDir,
 		RepairRateBytes: repairRate,
 		ScrubRateBytes:  scrubRate,
 	}, blob)
+	if err != nil {
+		return nil, err
+	}
+	rememberMetaDir(dir, metaDir)
+	return s, nil
 }
 
-// saveStore writes the store's metadata back to disk.
+// saveStore writes the store's metadata snapshot back to disk (with a
+// metadata plane this is an export for inspection and migration — the
+// plane itself is already durable) and closes the store, checkpointing
+// the plane so the next open replays nothing.
 func saveStore(dir string, s *store.Store) error {
 	blob, err := s.Snapshot()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(storeStatePath(dir), blob, 0o644)
+	if err := os.WriteFile(storeStatePath(dir), blob, 0o644); err != nil {
+		return err
+	}
+	return s.Close()
 }
 
-func storePut(dir string, spec backendSpec, in, name string, useRS bool, racks, blockSize int, stream bool) error {
+func storePut(dir string, spec backendSpec, metaDir, in, name string, useRS bool, racks, blockSize int, stream bool) error {
 	if in == "" {
 		return fmt.Errorf("store put needs -in")
 	}
@@ -267,7 +321,7 @@ func storePut(dir string, spec backendSpec, in, name string, useRS bool, racks, 
 	}
 	var s *store.Store
 	if _, err := os.Stat(storeStatePath(dir)); err == nil {
-		if s, err = openStore(dir, spec); err != nil {
+		if s, err = openStore(dir, spec, metaDir); err != nil {
 			return err
 		}
 		if useRS && !strings.HasPrefix(s.Codec().Name(), "RS") {
@@ -285,13 +339,14 @@ func storePut(dir string, spec backendSpec, in, name string, useRS bool, racks, 
 		if useRS {
 			codec = store.NewRS104Codec()
 		}
-		s, err = store.New(store.Config{Codec: codec, Backend: be, Nodes: spec.count, Racks: racks, BlockSize: blockSize})
+		s, err = store.New(store.Config{Codec: codec, Backend: be, Nodes: spec.count, Racks: racks, BlockSize: blockSize, MetaDir: metaDir})
 		if err != nil {
 			return err
 		}
 		if err := os.WriteFile(backendMarkerPath(dir), []byte(spec.kind+"\n"), 0o644); err != nil {
 			return err
 		}
+		rememberMetaDir(dir, metaDir)
 	}
 	var size int64
 	start := time.Now()
@@ -335,14 +390,15 @@ func storePut(dir string, spec backendSpec, in, name string, useRS bool, racks, 
 	return nil
 }
 
-func storeGet(dir string, spec backendSpec, name, out string, stream bool) error {
+func storeGet(dir string, spec backendSpec, metaDir, name, out string, stream bool) error {
 	if name == "" {
 		return fmt.Errorf("store get needs -name")
 	}
-	s, err := openStore(dir, spec)
+	s, err := openStore(dir, spec, metaDir)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	var info store.ReadInfo
 	var size int64
 	report := os.Stdout
@@ -401,11 +457,11 @@ func storeGet(dir string, spec backendSpec, name, out string, stream bool) error
 	return nil
 }
 
-func storeSetNode(dir string, spec backendSpec, node int, up bool) error {
+func storeSetNode(dir string, spec backendSpec, metaDir string, node int, up bool) error {
 	if node < 0 {
 		return fmt.Errorf("need -node")
 	}
-	s, err := openStore(dir, spec)
+	s, err := openStore(dir, spec, metaDir)
 	if err != nil {
 		return err
 	}
@@ -422,17 +478,18 @@ func storeSetNode(dir string, spec backendSpec, node int, up bool) error {
 	return saveStore(dir, s)
 }
 
-func storeCorrupt(dir string, spec backendSpec, name string, stripe, pos int, silent bool) error {
+func storeCorrupt(dir string, spec backendSpec, metaDir, name string, stripe, pos int, silent bool) error {
 	if name == "" {
 		return fmt.Errorf("store corrupt needs -name")
 	}
 	if spec.kind != "dir" {
 		return fmt.Errorf("store corrupt edits block files directly and needs -backend dir (corrupt a net node's files on its own machine instead)")
 	}
-	s, err := openStore(dir, spec)
+	s, err := openStore(dir, spec, metaDir)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	node, key, err := s.BlockLocation(name, stripe, pos)
 	if err != nil {
 		return err
@@ -464,8 +521,8 @@ func storeCorrupt(dir string, spec backendSpec, name string, stripe, pos int, si
 	return nil
 }
 
-func storeScrub(dir string, spec backendSpec, workers int, scrubRate, repairRate int64) error {
-	s, err := openStoreRates(dir, spec, repairRate, scrubRate)
+func storeScrub(dir string, spec backendSpec, metaDir string, workers int, scrubRate, repairRate int64) error {
+	s, err := openStoreRates(dir, spec, metaDir, repairRate, scrubRate)
 	if err != nil {
 		return err
 	}
@@ -492,8 +549,8 @@ func storeScrub(dir string, spec backendSpec, workers int, scrubRate, repairRate
 // presence walk (no reads, no CRC work) feeds the queue, then the worker
 // pool drains it. The per-invocation barrier a kill-node workflow needs,
 // without paying for a full integrity walk.
-func storeRepairDrain(dir string, spec backendSpec, workers int, repairRate int64) error {
-	s, err := openStoreRates(dir, spec, repairRate, 0)
+func storeRepairDrain(dir string, spec backendSpec, metaDir string, workers int, repairRate int64) error {
+	s, err := openStoreRates(dir, spec, metaDir, repairRate, 0)
 	if err != nil {
 		return err
 	}
@@ -516,12 +573,18 @@ func storeRepairDrain(dir string, spec backendSpec, workers int, repairRate int6
 	return saveStore(dir, s)
 }
 
-func storeStats(dir string, spec backendSpec) error {
-	s, err := openStore(dir, spec)
+func storeStats(dir string, spec backendSpec, metaDir string) error {
+	s, err := openStore(dir, spec, metaDir)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	fmt.Printf("store %s: codec %s, %d nodes / %d racks\n", dir, s.Codec().Name(), s.Nodes(), s.Racks())
+	if metaDir != "" {
+		objects, replayed := s.MetaRecovered()
+		fmt.Printf("meta plane %s: %d manifests recovered, %d WAL records replayed at open\n",
+			metaDir, objects, replayed)
+	}
 	var dead []string
 	for n := 0; n < s.Nodes(); n++ {
 		if !s.Alive(n) {

@@ -87,7 +87,12 @@ func streaming() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := store.New(store.Config{Nodes: nodes, Racks: racks, Backend: be, BlockSize: 1 << 20})
+	// The manifests live in a write-ahead-logged metadata plane next to
+	// the blocks: every put below is durable the moment it returns, and
+	// act three reopens the store from it.
+	metaDir := dir + "-meta"
+	defer os.RemoveAll(metaDir)
+	s, err := store.New(store.Config{Nodes: nodes, Racks: racks, Backend: be, BlockSize: 1 << 20, MetaDir: metaDir})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,6 +124,25 @@ func streaming() {
 		victim, info.LightRepairs, info.HeavyRepairs)
 	fmt.Printf("read %d blocks / %d MiB; heap in use %d MiB, peak sys %d MiB — bounded by stripes, not the object\n",
 		info.BlocksRead, info.BytesRead>>20, ms.HeapInuse>>20, ms.HeapSys>>20)
+
+	// Act three: restart. Close checkpoints the metadata plane, so the
+	// reopened store recovers every manifest — and the node death — from
+	// it directly: no WAL replay, no walk over 256 MiB of blocks.
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+	s2, err := store.New(store.Config{Nodes: nodes, Racks: racks, Backend: be, BlockSize: 1 << 20, MetaDir: metaDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s2.Close()
+	objects, replayed := s2.MetaRecovered()
+	v2 := &pattern.Verifier{}
+	if _, err := s2.GetWriter("elephant", v2); err != nil || v2.N != objectSize {
+		log.Fatalf("read after restart: %v (%d bytes)", err, v2.N)
+	}
+	fmt.Printf("restart: %d manifest(s) recovered from the metadata plane (%d WAL records replayed), "+
+		"node %d still dead, object byte-exact\n", objects, replayed, victim)
 }
 
 func run(codec store.Codec, payload []byte) result {

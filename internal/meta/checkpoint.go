@@ -1,0 +1,152 @@
+package meta
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpointing: the full index is written to a temp file in WAL record
+// format (chunked put batches), fsynced, renamed over `checkpoint` and
+// the directory fsynced — then the WAL segment is truncated. Recovery
+// is load-checkpoint + replay-WAL, in that order. The two steps need no
+// atomicity between them: a crash after the rename but before the
+// truncate just replays WAL records the checkpoint already contains,
+// and replaying a full prefix of the log in order is idempotent (the
+// final value of every key is decided by its last record).
+
+// recover loads the checkpoint, replays the WAL and truncates a torn
+// tail, then opens the segment for appending. Called once from Open.
+func (db *DB) recover() error {
+	dir := db.opts.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Sweep checkpoint temp files left by a crash mid-checkpoint: the
+	// rename never happened, so the live checkpoint is still authoritative.
+	if stale, err := filepath.Glob(filepath.Join(dir, "#tmp-checkpoint-*")); err == nil {
+		for _, p := range stale {
+			_ = os.Remove(p)
+		}
+	}
+	apply := func(ops []walOp) error {
+		for i := range ops {
+			op := &ops[i]
+			sh := db.shardOf(op.key)
+			if op.del {
+				delete(sh.m, op.key)
+				continue
+			}
+			v, err := db.opts.Codec.Decode(op.key, op.val)
+			if err != nil {
+				return fmt.Errorf("meta: decode %q during recovery: %w", op.key, err)
+			}
+			sh.m[op.key] = v
+		}
+		return nil
+	}
+	// The checkpoint was published by an atomic rename: it can be absent
+	// (never checkpointed) but never torn, so strict mode.
+	if _, _, err := replayFile(checkpointPath(dir), false, apply); err != nil {
+		return err
+	}
+	// The live WAL can end in the torn record of a crash mid-commit;
+	// replay stops there and the tail is truncated away before new
+	// records append after it.
+	records, validOff, err := replayFile(walPath(dir), true, apply)
+	if err != nil {
+		return err
+	}
+	db.m.replayed.Add(int64(records))
+	if st, err := os.Stat(walPath(dir)); err == nil && st.Size() > validOff {
+		if err := os.Truncate(walPath(dir), validOff); err != nil {
+			return err
+		}
+	}
+	w, err := newWALFile(walPath(dir), db)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.records = records
+	return nil
+}
+
+// checkpointBatch bounds how many entries share one checkpoint record.
+const checkpointBatch = 512
+
+// Checkpoint writes the full index to a fresh checkpoint and truncates
+// the WAL, bounding replay time at the next Open. Writers are blocked
+// for the duration (reads are not); the plane's scale keeps this short
+// — metadata, never data bytes. No-op for a memory-only plane.
+func (db *DB) Checkpoint() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.wal == nil || db.closed {
+		return nil
+	}
+	// Nothing may be in flight behind the buffer when the segment is
+	// truncated out from under the flusher.
+	if err := db.wal.quiesce(); err != nil {
+		return err
+	}
+	dir := db.opts.Dir
+	tmp, err := os.CreateTemp(dir, "#tmp-checkpoint-")
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	var batch []txOp
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := tmp.Write(encodeRecord(batch)); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for i := range db.shards {
+		// commitMu blocks writers, so plain reads see a frozen index.
+		for k, v := range db.shards[i].m {
+			enc, err := db.opts.Codec.Encode(k, v)
+			if err != nil {
+				return fail(fmt.Errorf("meta: encode %q for checkpoint: %w", k, err))
+			}
+			batch = append(batch, txOp{key: k, enc: enc})
+			if len(batch) >= checkpointBatch {
+				if err := flushBatch(); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), checkpointPath(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := SyncDir(dir); err != nil {
+		return err
+	}
+	if err := db.wal.reset(); err != nil {
+		return err
+	}
+	db.records = 0
+	db.m.checkpoints.Add(1)
+	return nil
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/meta"
 )
 
 // Backend stores opaque block bytes for simulated nodes. Implementations
@@ -201,12 +203,15 @@ func (d *DirBackend) Path(node int, key string) string {
 
 // Write implements Backend crash-safely: the bytes go to a uniquely
 // named temp file in the block's own directory (same filesystem, so the
-// rename is atomic), are fsynced, and only then renamed into place. A
-// crash or kill mid-write leaves a stray temp file (swept at the next
-// NewDirBackend), never a torn frame at the real key — the scrubber then
-// sees a cleanly missing block to repair instead of silent corruption.
-// The unique temp name also keeps concurrent writers of one key from
-// interleaving into each other's file.
+// rename is atomic), are fsynced, and only then renamed into place —
+// then the node directory itself is fsynced, because the rename lives in
+// the directory: without that a crash can lose the directory entry of a
+// block the store already acked. A crash or kill mid-write leaves a
+// stray temp file (swept at the next NewDirBackend), never a torn frame
+// at the real key — the scrubber then sees a cleanly missing block to
+// repair instead of silent corruption. The unique temp name also keeps
+// concurrent writers of one key from interleaving into each other's
+// file.
 func (d *DirBackend) Write(node int, key string, data []byte) error {
 	p := d.Path(node, key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
@@ -238,7 +243,7 @@ func (d *DirBackend) Write(node int, key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return meta.SyncDir(filepath.Dir(p))
 }
 
 // Read implements Backend.

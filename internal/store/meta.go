@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/meta"
+)
+
+// The store's metadata lives in one internal/meta plane, keyed by
+// prefix:
+//
+//	o/<name>              an object's manifest (*objectInfo)
+//	q/<gen>.<idx>/<name>  a queued repair item (*repairRecord)
+//	s/state               liveness + generation watermark (*stateRecord)
+//
+// Manifests are the hot records: committed durably before a Put acks,
+// relocated copy-on-write by repair workers, and walked by scrub
+// iterators. Repair queue entries are advisory (commit-no-sync: a lost
+// entry is re-found by the next scrub). The state record makes node
+// deaths and the gen/seq watermark survive a crash with no objects to
+// infer them from.
+
+const (
+	objPrefix = "o/"
+	qPrefix   = "q/"
+	stateKey  = "s/state"
+)
+
+func objKey(name string) string { return objPrefix + name }
+
+func qKey(ref stripeRef) string {
+	return fmt.Sprintf("%s%d.%d/%s", qPrefix, ref.gen, ref.idx, ref.name)
+}
+
+// stateRecord is the non-manifest durable state: which nodes are dead,
+// and the gen/seq watermark at the last liveness change or import (the
+// watermark otherwise recovers as the max over live manifests, which
+// can dip after a delete — harmless for block keys, but the record
+// keeps it monotonic).
+type stateRecord struct {
+	Gen  int64 `json:"gen"`
+	Seq  int64 `json:"seq"`
+	Dead []int `json:"dead,omitempty"`
+}
+
+// repairRecord is a queued repair item in durable form: enough to
+// rebuild the repairItem after a restart so damage found before a crash
+// is repaired after it without waiting for the next scrub.
+type repairRecord struct {
+	Name     string `json:"name"`
+	Gen      int64  `json:"gen"`
+	Idx      int    `json:"idx"`
+	Damaged  []int  `json:"damaged"`
+	Erasures int    `json:"erasures"`
+	Light    bool   `json:"light"`
+	Silent   bool   `json:"silent"`
+}
+
+func (rr *repairRecord) item() repairItem {
+	return repairItem{
+		ref:      stripeRef{name: rr.Name, gen: rr.Gen, idx: rr.Idx},
+		damaged:  rr.Damaged,
+		erasures: rr.Erasures,
+		light:    rr.Light,
+		silent:   rr.Silent,
+	}
+}
+
+func recordOf(it repairItem) *repairRecord {
+	return &repairRecord{
+		Name:     it.ref.name,
+		Gen:      it.ref.gen,
+		Idx:      it.ref.idx,
+		Damaged:  it.damaged,
+		Erasures: it.erasures,
+		Light:    it.light,
+		Silent:   it.silent,
+	}
+}
+
+// metaCodec maps the store's record types to JSON by key prefix.
+type metaCodec struct{}
+
+func (metaCodec) Encode(key string, v any) ([]byte, error) { return json.Marshal(v) }
+
+func (metaCodec) Decode(key string, b []byte) (any, error) {
+	switch {
+	case strings.HasPrefix(key, objPrefix):
+		o := &objectInfo{}
+		if err := json.Unmarshal(b, o); err != nil {
+			return nil, err
+		}
+		return o, nil
+	case strings.HasPrefix(key, qPrefix):
+		r := &repairRecord{}
+		if err := json.Unmarshal(b, r); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case key == stateKey:
+		st := &stateRecord{}
+		if err := json.Unmarshal(b, st); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("store: unknown meta key %q", key)
+	}
+}
+
+// openMeta opens the store's metadata plane and recovers durable state
+// into s: manifests are already in the index after replay; this walks
+// them for the gen/seq watermark and applies the liveness record.
+func (s *Store) openMeta() error {
+	db, err := meta.Open(meta.Options{
+		Dir:    s.cfg.MetaDir,
+		Shards: s.cfg.MetaShards,
+		Codec:  metaCodec{},
+	})
+	if err != nil {
+		return err
+	}
+	s.db = db
+	var maxGen, maxSeq int64
+	it := db.Scan(objPrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		obj := v.(*objectInfo)
+		if obj.Gen > maxGen {
+			maxGen = obj.Gen
+		}
+		for i := range obj.Stripes {
+			if sq := int64(obj.Stripes[i].Seq); sq > maxSeq {
+				maxSeq = sq
+			}
+		}
+	}
+	if v, ok := db.Get(stateKey); ok {
+		st := v.(*stateRecord)
+		if st.Gen > maxGen {
+			maxGen = st.Gen
+		}
+		if st.Seq > maxSeq {
+			maxSeq = st.Seq
+		}
+		for _, n := range st.Dead {
+			if n >= 0 && n < len(s.alive) {
+				s.alive[n] = false
+			}
+		}
+	}
+	s.gen.Store(maxGen)
+	s.seq.Store(maxSeq)
+	return nil
+}
+
+// logState commits the current liveness + watermark record. Callers
+// that cannot return an error (KillNode) treat it as best-effort: the
+// in-memory flip already happened and a lost record only costs a
+// post-crash scrub the node-death hint.
+func (s *Store) logState() error {
+	s.mu.RLock()
+	var dead []int
+	for n, a := range s.alive {
+		if !a {
+			dead = append(dead, n)
+		}
+	}
+	s.mu.RUnlock()
+	return s.db.Put(stateKey, &stateRecord{Gen: s.gen.Load(), Seq: s.seq.Load(), Dead: dead})
+}
+
+// MetaRecovered reports what recovery found in the metadata plane —
+// the restart story in two numbers (objects recovered, WAL records
+// replayed to get them).
+func (s *Store) MetaRecovered() (objects int, replayed int64) {
+	return s.db.Len(objPrefix), s.db.Metrics().ReplayedRecords
+}
+
+// Close checkpoints and releases the metadata plane. Stop scrubbers and
+// repair managers first; the store must not be used after Close.
+func (s *Store) Close() error { return s.db.Close() }

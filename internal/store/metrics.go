@@ -125,6 +125,14 @@ type Metrics struct {
 	// received from all nodes. These count what actually crossed the
 	// network, so the LRC-vs-RS repair comparison holds on real traffic.
 	WireSentBytes, WireRecvBytes int64
+	// Metadata plane: WAL bytes appended, fsync groups (concurrent
+	// commits that shared a sync count once), records replayed by the
+	// last Open, and prefix scans started (every scrub pass walks at
+	// least one).
+	MetaWALBytes        int64
+	MetaCommitBatches   int64
+	MetaReplayedRecords int64
+	MetaIteratorScans   int64
 }
 
 // WireTraffic returns the backend's per-node wire counters, nil when
@@ -140,6 +148,7 @@ func (s *Store) WireTraffic() (sent, recv []int64) {
 
 // Metrics returns a snapshot of the store's counters.
 func (s *Store) Metrics() Metrics {
+	mm := s.db.Metrics()
 	var wireSent, wireRecv int64
 	if sent, recv := s.WireTraffic(); sent != nil {
 		for i := range sent {
@@ -168,5 +177,10 @@ func (s *Store) Metrics() Metrics {
 		RepairsHeavy:       s.m.repairsHeavy.Load(),
 		WireSentBytes:      wireSent,
 		WireRecvBytes:      wireRecv,
+
+		MetaWALBytes:        mm.WALBytes,
+		MetaCommitBatches:   mm.CommitBatches,
+		MetaReplayedRecords: mm.ReplayedRecords,
+		MetaIteratorScans:   mm.IteratorScans,
 	}
 }

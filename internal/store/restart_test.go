@@ -5,8 +5,227 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 )
+
+// countingBackend wraps a Backend and counts operations (atomically —
+// the store's pools call it concurrently) — the probe the restart tests
+// use to prove recovery never touched the block plane.
+type countingBackend struct {
+	Backend
+	reads, writes, deletes atomic.Int64
+}
+
+func (c *countingBackend) Read(node int, key string) ([]byte, error) {
+	c.reads.Add(1)
+	return c.Backend.Read(node, key)
+}
+
+func (c *countingBackend) Write(node int, key string, data []byte) error {
+	c.writes.Add(1)
+	return c.Backend.Write(node, key, data)
+}
+
+func (c *countingBackend) Delete(node int, key string) error {
+	c.deletes.Add(1)
+	return c.Backend.Delete(node, key)
+}
+
+// TestCleanRestartNoPresenceWalk is the clean-shutdown half of the
+// restart story: Close checkpoints the metadata plane, so the next open
+// recovers every manifest from the checkpoint alone — zero WAL records
+// replayed and, critically, zero backend reads. Restart cost is
+// proportional to metadata, not data.
+func TestCleanRestartNoPresenceWalk(t *testing.T) {
+	root := t.TempDir()
+	blocks := filepath.Join(root, "blocks")
+	metaDir := filepath.Join(root, "meta")
+	rng := rand.New(rand.NewSource(7))
+	want := map[string][]byte{
+		"a": randBytes(rng, 256*10*2),
+		"b": randBytes(rng, 256*10+13),
+		"c": randBytes(rng, 99),
+	}
+
+	be1, err := NewDirBackend(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestStore(t, Config{Backend: be1, BlockSize: 256, MetaDir: metaDir})
+	for name, data := range want {
+		if err := s1.Put(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	be2, err := NewDirBackend(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := &countingBackend{Backend: be2}
+	s2, err := New(Config{Backend: cb, BlockSize: 256, MetaDir: metaDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if cb.reads.Load() != 0 || cb.writes.Load() != 0 || cb.deletes.Load() != 0 {
+		t.Fatalf("clean restart touched the backend: %d reads, %d writes, %d deletes",
+			cb.reads.Load(), cb.writes.Load(), cb.deletes.Load())
+	}
+	objects, replayed := s2.MetaRecovered()
+	if objects != len(want) {
+		t.Fatalf("recovered %d objects, want %d", objects, len(want))
+	}
+	if replayed != 0 {
+		t.Fatalf("clean restart replayed %d WAL records, want 0 (checkpoint at Close)", replayed)
+	}
+	for name, data := range want {
+		got, info, err := s2.Get(name)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("Get(%q) after clean restart: err %v", name, err)
+		}
+		if info.Degraded {
+			t.Fatalf("Get(%q) after clean restart was degraded", name)
+		}
+	}
+}
+
+// TestCrashRestartReplaysWAL is the crash half: the first process never
+// closes, so nothing is checkpointed and the next open must replay the
+// WAL to recover the manifests. Every acked put is there; the node death
+// survives via the liveness record; and the presence walk that finds the
+// dead node's blocks is the scrubber's job after open, not recovery's.
+func TestCrashRestartReplaysWAL(t *testing.T) {
+	root := t.TempDir()
+	blocks := filepath.Join(root, "blocks")
+	metaDir := filepath.Join(root, "meta")
+	rng := rand.New(rand.NewSource(8))
+	want := randBytes(rng, 256*10*3+17)
+
+	be1, err := NewDirBackend(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestStore(t, Config{Backend: be1, BlockSize: 256, MetaDir: metaDir})
+	if err := s1.Put("obj", want); err != nil {
+		t.Fatal(err)
+	}
+	victim, _, err := s1.BlockLocation("obj", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.KillNode(victim)
+	// No Close: the process "crashes" here with only the WAL on disk.
+
+	be2, err := NewDirBackend(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := &countingBackend{Backend: be2}
+	s2, err := New(Config{Backend: cb, BlockSize: 256, MetaDir: metaDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if cb.reads.Load() != 0 {
+		t.Fatalf("recovery read %d blocks from the backend, want 0 (replay is metadata-only)", cb.reads.Load())
+	}
+	objects, replayed := s2.MetaRecovered()
+	if objects != 1 {
+		t.Fatalf("recovered %d objects, want 1", objects)
+	}
+	if replayed == 0 {
+		t.Fatal("crash restart replayed no WAL records — the put was never logged")
+	}
+	if s2.Alive(victim) {
+		t.Fatalf("crash restart lost the death of node %d", victim)
+	}
+
+	// The dead node's blocks surface through the scrubber's presence
+	// walk, exactly as they would have before the crash.
+	rm := NewRepairManager(s2, 2)
+	rm.Start()
+	sc := NewScrubber(s2, rm, 0)
+	rep := sc.ScrubPresence()
+	rm.Drain()
+	rm.Stop()
+	if rep.Missing == 0 {
+		t.Fatal("presence walk found nothing missing with a node down")
+	}
+	got, info, err := s2.Get("obj")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("Get after crash restart + repair: err %v", err)
+	}
+	if info.Degraded {
+		t.Fatal("repair left the read degraded")
+	}
+}
+
+// TestRepairQueueSurvivesRestart: damage enqueued before a crash is
+// repaired after it without waiting for a new scrub — the queue's
+// entries are persisted (advisorily) in the metadata plane and re-queued
+// by NewRepairManager.
+func TestRepairQueueSurvivesRestart(t *testing.T) {
+	root := t.TempDir()
+	blocks := filepath.Join(root, "blocks")
+	metaDir := filepath.Join(root, "meta")
+	rng := rand.New(rand.NewSource(9))
+	want := randBytes(rng, 256*10*2+5)
+
+	be1, err := NewDirBackend(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newTestStore(t, Config{Backend: be1, BlockSize: 256, MetaDir: metaDir})
+	if err := s1.Put("obj", want); err != nil {
+		t.Fatal(err)
+	}
+	victim, _, err := s1.BlockLocation("obj", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.KillNode(victim)
+	// Scrub finds the damage and enqueues it — but no manager ever runs,
+	// and the process "crashes" with the queue entries only in the plane.
+	rm1 := NewRepairManager(s1, 1)
+	sc1 := NewScrubber(s1, rm1, 0)
+	if rep := sc1.ScrubPresence(); rep.Enqueued == 0 {
+		t.Fatal("scrub enqueued nothing with a node down")
+	}
+	// Force the advisory (no-sync) queue records to disk so this
+	// simulated crash tests recovery, not fsync timing.
+	if err := s1.db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	be2, err := NewDirBackend(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Backend: be2, BlockSize: 256, MetaDir: metaDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rm2 := NewRepairManager(s2, 2)
+	if rm2.Pending() == 0 {
+		t.Fatal("restart lost the persisted repair queue")
+	}
+	rm2.Start()
+	rm2.Drain()
+	rm2.Stop()
+	if s2.Metrics().RepairedBlocks == 0 {
+		t.Fatal("recovered queue items repaired nothing")
+	}
+	got, info, err := s2.Get("obj")
+	if err != nil || !bytes.Equal(got, want) || info.Degraded {
+		t.Fatalf("Get after recovered repair: err %v, degraded %v", err, info.Degraded)
+	}
+}
 
 // TestDirBackendSurvivesRestart runs the full lifecycle the CLI promises
 // — kill → scrub → repair → revive — across a simulated process restart:

@@ -6,6 +6,8 @@ import (
 	"hash/crc32"
 	"sync"
 	"time"
+
+	"repro/internal/meta"
 )
 
 // The background BlockFixer of §3 split into its two halves: a Scrubber
@@ -26,12 +28,24 @@ type RepairManager struct {
 }
 
 // NewRepairManager builds a manager with the given pool size (≤0 means 2
-// workers, mirroring the throttled production fixer).
+// workers, mirroring the throttled production fixer). Repair items the
+// previous process persisted but never finished are re-queued, so damage
+// found before a crash is repaired after it without waiting for the next
+// scrub.
 func NewRepairManager(s *Store, workers int) *RepairManager {
 	if workers <= 0 {
 		workers = 2
 	}
-	return &RepairManager{s: s, q: newRepairQueue(), workers: workers}
+	r := &RepairManager{s: s, q: newRepairQueue(), workers: workers}
+	it := s.db.Scan(qPrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		r.q.Push(v.(*repairRecord).item())
+	}
+	return r
 }
 
 // Start launches the worker pool. Each worker runs a two-stage pipeline
@@ -57,7 +71,7 @@ func (r *RepairManager) Start() {
 					if join != nil {
 						join() // write-backs are serialized per worker
 					}
-					join = r.asyncWrite(write)
+					join = r.asyncWrite(it, write)
 				}
 				if join != nil {
 					join()
@@ -72,18 +86,26 @@ func (r *RepairManager) Start() {
 // durable. The returned join blocks until then. A nil write (stripe
 // healed, deleted or unrecoverable — the common no-op cases) completes
 // inline without spawning anything.
-func (r *RepairManager) asyncWrite(write func()) func() {
+func (r *RepairManager) asyncWrite(it repairItem, write func()) func() {
 	if write == nil {
-		r.q.Done()
+		r.finish(it)
 		return nil
 	}
 	ch := make(chan struct{})
 	go func() {
 		defer close(ch)
 		write()
-		r.q.Done()
+		r.finish(it)
 	}()
 	return func() { <-ch }
+}
+
+// finish retires a processed queue item: its persisted record is removed
+// (no-sync — the record is advisory) and the queue's in-flight count
+// drops.
+func (r *RepairManager) finish(it repairItem) {
+	_ = r.s.db.CommitNoSync(func(tx *meta.Tx) { tx.Delete(qKey(it.ref)) })
+	r.q.Done()
 }
 
 // Stop drains the queue and stops the workers. Idempotent; blocks until
@@ -103,8 +125,17 @@ func (r *RepairManager) Drain() { r.q.WaitIdle() }
 // Pending returns the queued repair count.
 func (r *RepairManager) Pending() int { return r.q.Len() }
 
-// enqueue admits one damaged stripe (deduplicated by the queue).
-func (r *RepairManager) enqueue(it repairItem) bool { return r.q.Push(it) }
+// enqueue admits one damaged stripe (deduplicated by the queue) and
+// persists it to the metadata plane. The record is committed without a
+// sync: losing it in a crash only costs a rediscovery by the next scrub,
+// which is not worth an fsync per enqueue.
+func (r *RepairManager) enqueue(it repairItem) bool {
+	if !r.q.Push(it) {
+		return false
+	}
+	_ = r.s.db.CommitNoSync(func(tx *meta.Tx) { tx.Put(qKey(it.ref), recordOf(it)) })
+	return true
+}
 
 // repairScratch is one worker's pair of reusable framed block slabs.
 // Rebuilt payloads are decoded straight into a slab's payload windows and
@@ -317,15 +348,27 @@ func (sc *Scrubber) Stop() {
 }
 
 // ScrubOnce walks every stripe synchronously and returns what it found.
+// The walk streams through the metadata plane's prefix iterator — one
+// shard's manifests in memory at a time, never a global snapshot — so
+// scrub cost stays flat as the namespace grows.
 func (sc *Scrubber) ScrubOnce() ScrubReport {
 	var rep ScrubReport
-	for _, ref := range sc.s.stripeRefs() {
-		miss, corr, enq := sc.scrubStripe(ref)
-		rep.Stripes++
-		rep.Missing += miss
-		rep.Corrupt += corr
-		if enq {
-			rep.Enqueued++
+	it := sc.s.db.Scan(objPrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		obj := v.(*objectInfo)
+		for i := range obj.Stripes {
+			ref := stripeRef{name: obj.Name, gen: obj.Gen, idx: i}
+			miss, corr, enq := sc.scrubStripe(ref)
+			rep.Stripes++
+			rep.Missing += miss
+			rep.Corrupt += corr
+			if enq {
+				rep.Enqueued++
+			}
 		}
 	}
 	return rep
@@ -341,40 +384,49 @@ func (sc *Scrubber) ScrubPresence() ScrubReport {
 	var rep ScrubReport
 	s := sc.s
 	n := s.cfg.Codec.NStored()
-	for _, ref := range s.stripeRefs() {
-		si, ok := s.stripeSnapshot(ref)
+	it := s.db.Scan(objPrefix)
+	for {
+		_, v, ok := it.Next()
 		if !ok {
-			continue
+			break
 		}
-		rep.Stripes++
-		avail := make([]bool, n)
-		var damaged []int
-		for pos := 0; pos < n; pos++ {
-			if s.Alive(si.Nodes[pos]) {
-				avail[pos] = true
-			} else {
-				damaged = append(damaged, pos)
+		obj := v.(*objectInfo)
+		for idx := range obj.Stripes {
+			// The iterator's manifests are immutable (copy-on-write plane),
+			// so the stripe can be inspected directly — no re-lookup, no
+			// copy. A stale view only mis-ages a repair item; the queue item
+			// carries the generation and the repair re-probes.
+			si := &obj.Stripes[idx]
+			rep.Stripes++
+			avail := make([]bool, n)
+			var damaged []int
+			for pos := 0; pos < n; pos++ {
+				if s.Alive(si.Nodes[pos]) {
+					avail[pos] = true
+				} else {
+					damaged = append(damaged, pos)
+				}
 			}
-		}
-		if len(damaged) == 0 {
-			continue
-		}
-		rep.Missing += len(damaged)
-		s.m.missingFound.Add(int64(len(damaged)))
-		light := true
-		for _, pos := range damaged {
-			if _, l, err := s.cfg.Codec.PlanReads(pos, avail); err != nil || !l {
-				light = false
-				break
+			if len(damaged) == 0 {
+				continue
 			}
-		}
-		if sc.rm.enqueue(repairItem{
-			ref:      ref,
-			damaged:  damaged,
-			erasures: len(damaged),
-			light:    light,
-		}) {
-			rep.Enqueued++
+			rep.Missing += len(damaged)
+			s.m.missingFound.Add(int64(len(damaged)))
+			light := true
+			for _, pos := range damaged {
+				if _, l, err := s.cfg.Codec.PlanReads(pos, avail); err != nil || !l {
+					light = false
+					break
+				}
+			}
+			if sc.rm.enqueue(repairItem{
+				ref:      stripeRef{name: obj.Name, gen: obj.Gen, idx: idx},
+				damaged:  damaged,
+				erasures: len(damaged),
+				light:    light,
+			}) {
+				rep.Enqueued++
+			}
 		}
 	}
 	return rep

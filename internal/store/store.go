@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/meta"
 )
 
 // ErrObjectNotFound reports a Get/Delete of an unknown object.
@@ -51,6 +53,15 @@ type Config struct {
 	// ScrubRateBytes caps the scrubber's integrity-walk read rate in
 	// bytes per second, same discipline; 0 = unlimited.
 	ScrubRateBytes int64
+	// MetaDir roots the persistent metadata plane (WAL + checkpoint): an
+	// acked Put is then on the log before PutReader returns, and a
+	// restart recovers every manifest by checkpoint load + WAL replay.
+	// "" keeps metadata in memory only (tests, throwaway stores). The
+	// geometry (codec, nodes, racks, block size) is the caller's to keep
+	// consistent across opens — the plane stores manifests, not config.
+	MetaDir string
+	// MetaShards is the metadata plane's index shard count (default 16).
+	MetaShards int
 }
 
 func (c *Config) fillDefaults() {
@@ -111,10 +122,12 @@ type objectInfo struct {
 	// never splice an old block key into the new manifest).
 	Gen     int64        `json:"gen"`
 	Stripes []stripeInfo `json:"stripes"`
-	// muts counts in-place manifest mutations of this version (repair
-	// relocations), guarded by Store.mu. A failed read retries only if
-	// (Gen, muts) moved — an unchanged manifest means the failure is
-	// genuine, not a stale snapshot. Runtime state, not persisted.
+	// muts counts manifest mutations of this version (repair
+	// relocations). A failed read retries only if (Gen, muts) moved — an
+	// unchanged manifest means the failure is genuine, not a stale
+	// snapshot. Manifests in the metadata plane are copy-on-write, so a
+	// relocation bumps muts on the replacement, never in place. Runtime
+	// state, not persisted.
 	muts int64
 }
 
@@ -128,9 +141,16 @@ type Store struct {
 	// the backend instead of letting Write copy them.
 	ownedW OwnedWriter
 
-	mu      sync.RWMutex
-	objects map[string]*objectInfo
-	alive   []bool
+	// db is the metadata plane: every manifest, the repair queue and the
+	// liveness record live there, sharded for concurrent access and —
+	// with Config.MetaDir — write-ahead logged. Values follow the meta
+	// package's copy-on-write contract: an *objectInfo handed out by the
+	// plane is immutable, and mutation commits a replacement.
+	db *meta.DB
+
+	// mu guards the liveness vector (manifests no longer live under it).
+	mu    sync.RWMutex
+	alive []bool
 
 	// Version pinning: a streaming read pins the (name, generation) it
 	// snapshotted so an overwrite or delete racing the read cannot
@@ -160,7 +180,6 @@ func New(cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:       cfg,
 		placer:    newPlacer(cfg.Codec, cfg.Nodes, cfg.Racks),
-		objects:   make(map[string]*objectInfo),
 		alive:     make([]bool, cfg.Nodes),
 		pins:      make(map[verKey]int),
 		condemned: make(map[verKey]*objectInfo),
@@ -172,6 +191,12 @@ func New(cfg Config) (*Store, error) {
 	s.scrubLim = newByteRate(cfg.ScrubRateBytes)
 	for i := range s.alive {
 		s.alive[i] = true
+	}
+	// Recovery happens here: with a MetaDir, openMeta loads the
+	// checkpoint, replays the WAL and restores manifests, liveness and
+	// the gen/seq watermark — no presence walk, no snapshot blob.
+	if err := s.openMeta(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -196,22 +221,26 @@ func (s *Store) Alive(n int) bool {
 }
 
 // KillNode takes a node down: its blocks become unreadable until revival
-// or repair (the paper's DataNode terminations, §5.2). Idempotent.
+// or repair (the paper's DataNode terminations, §5.2). Idempotent. The
+// death is logged to the metadata plane (best-effort) so a restart
+// still knows the node is down without a presence walk.
 func (s *Store) KillNode(n int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if n >= 0 && n < len(s.alive) {
 		s.alive[n] = false
 	}
+	s.mu.Unlock()
+	_ = s.logState()
 }
 
 // ReviveNode brings a node back (§1.1's transient failures). Idempotent.
 func (s *Store) ReviveNode(n int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if n >= 0 && n < len(s.alive) {
 		s.alive[n] = true
 	}
+	s.mu.Unlock()
+	_ = s.logState()
 }
 
 // aliveSnapshot copies the liveness vector.
@@ -465,9 +494,10 @@ type verKey struct {
 	gen  int64
 }
 
-// pin marks one more in-flight reader of (name, gen). Callers must hold
-// at least s.mu.RLock when pinning a version they just looked up, so the
-// pin is atomic with the lookup against a concurrent commit.
+// pin marks one more in-flight reader of (name, gen). Callers must pin
+// inside a db.View of the version they just looked up, so the pin is
+// atomic with the lookup against a concurrent commit (which takes the
+// same shard's write lock).
 func (s *Store) pin(name string, gen int64) {
 	s.pinMu.Lock()
 	s.pins[verKey{name, gen}]++
@@ -509,12 +539,23 @@ func (s *Store) retire(obj *objectInfo) {
 	s.deleteBlocks(obj)
 }
 
-// Delete removes an object and its blocks.
+// Delete removes an object and its blocks. The manifest's removal is
+// durable before any block is reclaimed, so a crash mid-delete leaves
+// orphan blocks (invisible, swept by nothing referencing them), never a
+// manifest pointing at deleted bytes.
 func (s *Store) Delete(name string) error {
-	s.mu.Lock()
-	obj := s.objects[name]
-	delete(s.objects, name)
-	s.mu.Unlock()
+	var obj *objectInfo
+	err := s.db.Commit(func(tx *meta.Tx) {
+		v, ok := tx.Get(objKey(name))
+		if !ok {
+			return
+		}
+		obj = v.(*objectInfo)
+		tx.Delete(objKey(name))
+	})
+	if err != nil {
+		return err
+	}
 	if obj == nil {
 		return fmt.Errorf("%w: %q", ErrObjectNotFound, name)
 	}
@@ -542,12 +583,16 @@ type ObjectStat struct {
 	Stripes int
 }
 
-// Objects lists stored objects.
+// Objects lists stored objects via a metadata-plane scan.
 func (s *Store) Objects() []ObjectStat {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]ObjectStat, 0, len(s.objects))
-	for _, o := range s.objects {
+	var out []ObjectStat
+	it := s.db.Scan(objPrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		o := v.(*objectInfo)
 		out = append(out, ObjectStat{Name: o.Name, Size: o.Size, Stripes: len(o.Stripes)})
 	}
 	return out
@@ -556,10 +601,14 @@ func (s *Store) Objects() []ObjectStat {
 // BlocksPerNode counts manifest blocks per node — the placement balance
 // view.
 func (s *Store) BlocksPerNode() []int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]int, s.cfg.Nodes)
-	for _, o := range s.objects {
+	it := s.db.Scan(objPrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		o := v.(*objectInfo)
 		for i := range o.Stripes {
 			for _, n := range o.Stripes[i].Nodes {
 				if n >= 0 && n < len(out) {
@@ -574,12 +623,11 @@ func (s *Store) BlocksPerNode() []int {
 // BlockLocation returns where one stripe position of an object lives —
 // the hook the corruption tooling uses.
 func (s *Store) BlockLocation(name string, stripe, pos int) (node int, key string, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj := s.objects[name]
-	if obj == nil {
+	v, ok := s.db.Get(objKey(name))
+	if !ok {
 		return 0, "", fmt.Errorf("%w: %q", ErrObjectNotFound, name)
 	}
+	obj := v.(*objectInfo)
 	if stripe < 0 || stripe >= len(obj.Stripes) {
 		return 0, "", fmt.Errorf("store: %q has no stripe %d", name, stripe)
 	}
@@ -599,34 +647,25 @@ type stripeRef struct {
 	idx  int
 }
 
-// stripeRefs snapshots every stripe in the store.
-func (s *Store) stripeRefs() []stripeRef {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []stripeRef
-	for name, o := range s.objects {
-		for i := range o.Stripes {
-			out = append(out, stripeRef{name: name, gen: o.Gen, idx: i})
-		}
+// objectForRef resolves a ref to the live manifest, nil if the object
+// was deleted or overwritten since the ref was taken.
+func (s *Store) objectForRef(ref stripeRef) *objectInfo {
+	v, ok := s.db.Get(objKey(ref.name))
+	if !ok {
+		return nil
 	}
-	return out
-}
-
-// lookupRef resolves a ref to the live object, nil if the object was
-// deleted or overwritten since the ref was taken. Callers must hold mu.
-func (s *Store) lookupRef(ref stripeRef) *objectInfo {
-	obj := s.objects[ref.name]
-	if obj == nil || obj.Gen != ref.gen || ref.idx >= len(obj.Stripes) {
+	obj := v.(*objectInfo)
+	if obj.Gen != ref.gen || ref.idx >= len(obj.Stripes) {
 		return nil
 	}
 	return obj
 }
 
-// stripeSnapshot copies one stripe's manifest entry.
+// stripeSnapshot copies one stripe's manifest entry. The Nodes/Keys
+// copies matter: repair mutates its local snapshot while planning, and
+// the plane's manifest is shared with every other reader.
 func (s *Store) stripeSnapshot(ref stripeRef) (stripeInfo, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj := s.lookupRef(ref)
+	obj := s.objectForRef(ref)
 	if obj == nil {
 		return stripeInfo{}, false
 	}
@@ -636,26 +675,46 @@ func (s *Store) stripeSnapshot(ref stripeRef) (stripeInfo, bool) {
 	return si, true
 }
 
-// relocateBlock points one stripe position at a new node/key after a
-// repair rewrite. It reports false — leaving the manifest untouched — if
-// the object was deleted or overwritten under the repair (the generation
-// check: splicing an old version's block into a new manifest would serve
-// stale bytes).
-func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj := s.lookupRef(ref)
-	if obj == nil {
-		return false
-	}
-	si := &obj.Stripes[ref.idx]
-	if pos < 0 || pos >= len(si.Nodes) {
-		return false
-	}
+// withRelocation returns a copy of the manifest with one stripe position
+// repointed — the copy-on-write half of relocateBlock. Only the touched
+// stripe's slices are duplicated; the rest alias the old version, which
+// is immutable by the same contract.
+func (o *objectInfo) withRelocation(idx, pos, node int, key string) *objectInfo {
+	n := *o
+	n.Stripes = append([]stripeInfo(nil), o.Stripes...)
+	si := &n.Stripes[idx]
+	si.Nodes = append([]int(nil), si.Nodes...)
+	si.Keys = append([]string(nil), si.Keys...)
 	si.Nodes[pos] = node
 	si.Keys[pos] = key
-	obj.muts++
-	return true
+	n.muts = o.muts + 1
+	return &n
+}
+
+// relocateBlock points one stripe position at a new node/key after a
+// repair rewrite, committing a copy-on-write replacement manifest. It
+// reports false — leaving the manifest untouched — if the object was
+// deleted or overwritten under the repair (the generation check, redone
+// inside the transaction: splicing an old version's block into a new
+// manifest would serve stale bytes).
+func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
+	relocated := false
+	err := s.db.Commit(func(tx *meta.Tx) {
+		v, ok := tx.Get(objKey(ref.name))
+		if !ok {
+			return
+		}
+		obj := v.(*objectInfo)
+		if obj.Gen != ref.gen || ref.idx >= len(obj.Stripes) {
+			return
+		}
+		if pos < 0 || pos >= len(obj.Stripes[ref.idx].Nodes) {
+			return
+		}
+		tx.Put(objKey(ref.name), obj.withRelocation(ref.idx, pos, node, key))
+		relocated = true
+	})
+	return err == nil && relocated
 }
 
 // --- snapshot / restore (the CLI's on-disk state) ---
@@ -672,11 +731,10 @@ type snapshot struct {
 }
 
 // Snapshot serializes the store's metadata (manifests, liveness,
-// geometry) as JSON. Block bytes live in the backend; metrics are not
-// persisted.
+// geometry) as JSON — an export of the metadata plane for the CLI's
+// state file and for migrating into a MetaDir-backed store. Block bytes
+// live in the backend; metrics are not persisted.
 func (s *Store) Snapshot() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	snap := snapshot{
 		Codec:     s.cfg.Codec.Name(),
 		Nodes:     s.cfg.Nodes,
@@ -685,20 +743,31 @@ func (s *Store) Snapshot() ([]byte, error) {
 		Gen:       s.gen.Load(),
 		Seq:       s.seq.Load(),
 	}
+	s.mu.RLock()
 	for n, a := range s.alive {
 		if !a {
 			snap.Dead = append(snap.Dead, n)
 		}
 	}
-	for _, o := range s.objects {
-		snap.Objects = append(snap.Objects, o)
+	s.mu.RUnlock()
+	it := s.db.Scan(objPrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		snap.Objects = append(snap.Objects, v.(*objectInfo))
 	}
 	return json.MarshalIndent(snap, "", "  ")
 }
 
 // Restore rebuilds a store from Snapshot output. cfg supplies the codec
 // and backend (which must match the snapshot's codec by name); geometry
-// comes from the snapshot.
+// comes from the snapshot. When cfg.MetaDir names a plane that already
+// holds manifests, the plane is authoritative and the snapshot's object
+// list is ignored — the WAL saw every commit, the snapshot only the last
+// explicit save. An empty plane imports the snapshot (the migration
+// path, and how memory-only stores load a state file).
 func Restore(cfg Config, data []byte) (*Store, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -713,15 +782,40 @@ func Restore(cfg Config, data []byte) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.gen.Store(snap.Gen)
-	s.seq.Store(snap.Seq)
+	if s.db.Len(objPrefix) > 0 {
+		// Plane wins; only ratchet the watermark so snapshot-era keys are
+		// never reissued.
+		if snap.Gen > s.gen.Load() {
+			s.gen.Store(snap.Gen)
+		}
+		if snap.Seq > s.seq.Load() {
+			s.seq.Store(snap.Seq)
+		}
+		return s, nil
+	}
+	if snap.Gen > s.gen.Load() {
+		s.gen.Store(snap.Gen)
+	}
+	if snap.Seq > s.seq.Load() {
+		s.seq.Store(snap.Seq)
+	}
+	s.mu.Lock()
 	for _, n := range snap.Dead {
 		if n >= 0 && n < len(s.alive) {
 			s.alive[n] = false
 		}
 	}
-	for _, o := range snap.Objects {
-		s.objects[o.Name] = o
+	s.mu.Unlock()
+	err = s.db.Commit(func(tx *meta.Tx) {
+		for _, o := range snap.Objects {
+			tx.Put(objKey(o.Name), o)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.logState(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

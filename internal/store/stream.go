@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+
+	"repro/internal/meta"
 )
 
 // The streaming datapath: PutReader and GetWriter move objects through
@@ -178,7 +180,9 @@ func (s *Store) PutReader(name string, r io.Reader) error {
 		}
 		obj.Size += f.n
 	}
-	s.commit(obj)
+	if err := s.commit(obj); err != nil {
+		return fail(fmt.Errorf("store: commit object %q: %w", name, err))
+	}
 	return nil
 }
 
@@ -338,17 +342,26 @@ func (s *Store) putStripeShort(obj *objectInfo, chunk []byte) error {
 	return s.sealStripe(obj, bufs, len(chunk), blockLen)
 }
 
-// commit atomically publishes obj as the current version of its name and
-// retires any version it replaces (reclaimed immediately, or at the last
-// unpin if a streaming read still holds it).
-func (s *Store) commit(obj *objectInfo) {
-	s.mu.Lock()
-	old := s.objects[obj.Name]
-	s.objects[obj.Name] = obj
-	s.mu.Unlock()
+// commit atomically publishes obj as the current version of its name —
+// durably, when the plane has a WAL: the record is fsynced before commit
+// returns, so an acked put survives a crash. Any version it replaces is
+// retired (reclaimed immediately, or at the last unpin if a streaming
+// read still holds it).
+func (s *Store) commit(obj *objectInfo) error {
+	var old *objectInfo
+	err := s.db.Commit(func(tx *meta.Tx) {
+		if v, ok := tx.Get(objKey(obj.Name)); ok {
+			old = v.(*objectInfo)
+		}
+		tx.Put(objKey(obj.Name), obj)
+	})
+	if err != nil {
+		return err
+	}
 	if old != nil {
 		s.retire(old)
 	}
+	return nil
 }
 
 // GetWriter streams an object to w stripe by stripe, reconstructing
@@ -553,40 +566,40 @@ func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error)
 	return acct.info(), gen, nil
 }
 
-// manifestSnapshot copies an object's stripe manifest under the lock
-// (repair workers relocate blocks, mutating Nodes/Keys, concurrently with
-// reads) and pins the version: commit needs s.mu exclusively, so the pin
-// is atomic with the lookup and a racing overwrite is guaranteed to see
-// it when it retires this version. The caller owns one unpin on ok=true.
+// manifestSnapshot captures an object's stripe manifest and pins the
+// version. Both happen inside one db.View — the shard read lock — and a
+// racing commit takes that shard's write lock before it can replace the
+// manifest, so the pin is atomic with the lookup and the overwrite is
+// guaranteed to see it when it retires this version. No deep copy:
+// manifests in the plane are copy-on-write (a relocation commits a
+// replacement), so the captured slices are immutable. The caller owns
+// one unpin on ok=true.
 func (s *Store) manifestSnapshot(name string) ([]stripeInfo, int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj := s.objects[name]
-	if obj == nil {
-		return nil, 0, false
-	}
-	stripes := make([]stripeInfo, len(obj.Stripes))
-	for i, si := range obj.Stripes {
-		si.Nodes = append([]int(nil), si.Nodes...)
-		si.Keys = append([]string(nil), si.Keys...)
-		stripes[i] = si
-	}
-	s.pin(name, obj.Gen)
-	return stripes, obj.Gen, true
+	var stripes []stripeInfo
+	var gen int64
+	ok := false
+	s.db.View(objKey(name), func(v any, found bool) {
+		if !found {
+			return
+		}
+		obj := v.(*objectInfo)
+		stripes, gen, ok = obj.Stripes, obj.Gen, true
+		s.pin(name, obj.Gen)
+	})
+	return stripes, gen, ok
 }
 
-// versionState returns name's current generation and in-place mutation
-// count (repair relocations), and whether the object exists. A read
-// whose attempt failed retries only when this pair has moved: gen
-// changes on overwrite, muts on relocation, and an unchanged pair means
-// the failed snapshot was current — genuine data loss, not staleness.
+// versionState returns name's current generation and mutation count
+// (repair relocations), and whether the object exists. A read whose
+// attempt failed retries only when this pair has moved: gen changes on
+// overwrite, muts on relocation, and an unchanged pair means the failed
+// snapshot was current — genuine data loss, not staleness.
 func (s *Store) versionState(name string) (gen, muts int64, found bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj := s.objects[name]
-	if obj == nil {
+	v, ok := s.db.Get(objKey(name))
+	if !ok {
 		return 0, 0, false
 	}
+	obj := v.(*objectInfo)
 	return obj.Gen, obj.muts, true
 }
 
