@@ -10,9 +10,12 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/gateway"
 	"repro/internal/gf"
 	"repro/internal/lrc"
 	"repro/internal/markov"
@@ -889,4 +893,76 @@ func BenchmarkEncodeThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGatewayMixed drives the HTTP serving tier end to end: a pool
+// of concurrent clients alternating 4 MiB PUTs and GETs over real TCP
+// against the xorbasd gateway handler, with aggregate MB/s and the
+// gateway's own p99 per verb reported. This is the serving-path
+// companion to BenchmarkStoreStream*: the same datapath plus HTTP
+// framing, admission, and metrics.
+func BenchmarkGatewayMixed(b *testing.B) {
+	const objSize = 4 << 20
+	s, err := store.New(store.Config{BlockSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gateway.New(gateway.Config{Store: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	payload := make([]byte, objSize)
+	rand.New(rand.NewSource(17)).Read(payload)
+	for i := 0; i < 4; i++ {
+		req, _ := http.NewRequest("PUT", fmt.Sprintf("%s/t/bench/seed-%d", srv.URL, i), bytes.NewReader(payload))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("seed put: status %d", resp.StatusCode)
+		}
+	}
+	var moved atomic.Int64
+	var workers atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := workers.Add(1)
+		client := &http.Client{}
+		for i := 0; pb.Next(); i++ {
+			if i%2 == 0 {
+				url := fmt.Sprintf("%s/t/bench/w-%d", srv.URL, id)
+				req, _ := http.NewRequest("PUT", url, bytes.NewReader(payload))
+				resp, err := client.Do(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("put: status %d", resp.StatusCode)
+				}
+				moved.Add(objSize)
+			} else {
+				resp, err := client.Get(fmt.Sprintf("%s/t/bench/seed-%d", srv.URL, i%4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("get: status %d", resp.StatusCode)
+				}
+				moved.Add(n)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(moved.Load())/1e6/b.Elapsed().Seconds(), "MB/s")
+	m := g.Metrics()
+	b.ReportMetric(m.Verbs["GET"].P99Ms, "get-p99-ms")
+	b.ReportMetric(m.Verbs["PUT"].P99Ms, "put-p99-ms")
 }

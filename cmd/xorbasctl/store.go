@@ -43,29 +43,23 @@ package main
 // real fixer takes on a dead DataNode. Both print the repair throughput;
 // -scrub-rate / -repair-rate bound the background read rates in
 // bytes/sec (0 = unlimited), the paper's bounded fixer load.
+//
+// The shared flag plumbing (-dir/-backend/-nodes/-meta/-code and the
+// open/create/save paths) lives in repro/internal/cliutil, where the
+// xorbasd gateway uses the very same definitions.
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/netblock"
+	"repro/internal/cliutil"
 	"repro/internal/store"
 )
-
-// mbps formats a transfer rate; the CLI doubles as a quick perf probe.
-func mbps(bytes int64, d time.Duration) string {
-	if d <= 0 {
-		return "—"
-	}
-	return fmt.Sprintf("%.1f MB/s", float64(bytes)/1e6/d.Seconds())
-}
 
 func storeUsage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|repair-drain|stats [flags]")
@@ -78,13 +72,11 @@ func storeMain(args []string) error {
 	}
 	sub := args[0]
 	fs := flag.NewFlagSet("store "+sub, flag.ExitOnError)
-	dir := fs.String("dir", "", "store directory")
+	sf := cliutil.RegisterStoreFlags(fs)
 	in := fs.String("in", "", "input file (put)")
 	out := fs.String("out", "", "output file (get; default stdout summary only)")
 	name := fs.String("name", "", "object name (default: input file base name)")
-	useRS := fs.Bool("rs", false, "create the store with RS(10,4) instead of LRC(10,6,5) (put only, first use)")
-	backendKind := fs.String("backend", "dir", "block backend: dir (subdirectories under -dir) or net (TCP block servers)")
-	nodes := fs.String("nodes", "20", "dir backend: simulated node count (first put only); net backend: comma-separated host:port list, one address per node")
+	useRS := fs.Bool("rs", false, "create the store with RS(10,4) instead of LRC(10,6,5) (put only, first use; same as -code rs)")
 	racks := fs.Int("racks", 8, "racks, rack = node mod racks (first put only)")
 	blockSize := fs.Int("block", 64<<10, "max data-block bytes (first put only)")
 	node := fs.Int("node", -1, "node id (kill-node / revive-node)")
@@ -95,221 +87,39 @@ func storeMain(args []string) error {
 	repairRate := fs.Int64("repair-rate", 0, "repair read budget in bytes/sec, 0 = unlimited (scrub / repair-drain)")
 	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget in bytes/sec, 0 = unlimited (scrub)")
 	stream := fs.Bool("stream", false, "stream stripe-by-stripe with bounded memory (put/get; '-' = stdin/stdout)")
-	metaFlag := fs.String("meta", "", "metadata plane directory (WAL + checkpoint; durable acked puts); default: reuse the store's recorded plane; 'none' = snapshot-only")
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if *dir == "" {
+	if *sf.Dir == "" {
 		return fmt.Errorf("store %s needs -dir", sub)
 	}
-	spec, err := parseBackendSpec(*backendKind, *nodes)
-	if err != nil {
-		return err
+	if *useRS {
+		*sf.Code = "rs"
 	}
-	metaDir := resolveMetaDir(*dir, *metaFlag)
 	switch sub {
 	case "put":
-		return storePut(*dir, spec, metaDir, *in, *name, *useRS, *racks, *blockSize, *stream)
+		return storePut(sf, *in, *name, *racks, *blockSize, *stream)
 	case "get":
-		return storeGet(*dir, spec, metaDir, *name, *out, *stream)
+		return storeGet(sf, *name, *out, *stream)
 	case "kill-node":
-		return storeSetNode(*dir, spec, metaDir, *node, false)
+		return storeSetNode(sf, *node, false)
 	case "revive-node":
-		return storeSetNode(*dir, spec, metaDir, *node, true)
+		return storeSetNode(sf, *node, true)
 	case "corrupt":
-		return storeCorrupt(*dir, spec, metaDir, *name, *stripeIdx, *blockIdx, *silent)
+		return storeCorrupt(sf, *name, *stripeIdx, *blockIdx, *silent)
 	case "scrub":
-		return storeScrub(*dir, spec, metaDir, *workers, *scrubRate, *repairRate)
+		return storeScrub(sf, *workers, *scrubRate, *repairRate)
 	case "repair-drain":
-		return storeRepairDrain(*dir, spec, metaDir, *workers, *repairRate)
+		return storeRepairDrain(sf, *workers, *repairRate)
 	case "stats":
-		return storeStats(*dir, spec, metaDir)
+		return storeStats(sf)
 	default:
 		storeUsage()
 		return nil
 	}
 }
 
-// metaMarkerPath records where a store's metadata plane lives, so later
-// invocations find it without repeating -meta.
-func metaMarkerPath(dir string) string { return filepath.Join(dir, "metadir") }
-
-// resolveMetaDir interprets -meta: an explicit directory wins, "none"
-// forces the legacy snapshot-only mode, and "" falls back to the plane
-// the store was created with (the marker file), if any.
-func resolveMetaDir(dir, flagVal string) string {
-	switch flagVal {
-	case "none":
-		return ""
-	case "":
-		if b, err := os.ReadFile(metaMarkerPath(dir)); err == nil {
-			return strings.TrimSpace(string(b))
-		}
-		return ""
-	default:
-		return flagVal
-	}
-}
-
-// rememberMetaDir persists the marker (best-effort: losing it only costs
-// a -meta flag on the next invocation).
-func rememberMetaDir(dir, metaDir string) {
-	if metaDir == "" {
-		return
-	}
-	_ = os.WriteFile(metaMarkerPath(dir), []byte(metaDir+"\n"), 0o644)
-}
-
-// backendSpec is how the CLI reaches block bytes: subdirectories of the
-// store directory, or a fleet of TCP block servers.
-type backendSpec struct {
-	kind  string   // "dir" or "net"
-	addrs []string // net: one host:port per store node
-	count int      // node count (net: len(addrs); dir: first-put count)
-}
-
-// parseBackendSpec interprets -backend and -nodes together: the -nodes
-// flag is a node count for the dir backend and an address list for the
-// net backend.
-func parseBackendSpec(kind, nodes string) (backendSpec, error) {
-	switch kind {
-	case "dir":
-		n, err := strconv.Atoi(nodes)
-		if err != nil || n < 1 {
-			return backendSpec{}, fmt.Errorf("-backend dir needs -nodes to be a positive node count, got %q", nodes)
-		}
-		return backendSpec{kind: kind, count: n}, nil
-	case "net":
-		addrs := strings.Split(nodes, ",")
-		for i, a := range addrs {
-			addrs[i] = strings.TrimSpace(a)
-			if !strings.Contains(addrs[i], ":") {
-				return backendSpec{}, fmt.Errorf("-backend net needs -nodes as host:port,host:port,...; %q has no port", a)
-			}
-		}
-		return backendSpec{kind: kind, addrs: addrs, count: len(addrs)}, nil
-	default:
-		return backendSpec{}, fmt.Errorf("unknown -backend %q (want dir or net)", kind)
-	}
-}
-
-// open builds the block backend for a store rooted at dir.
-func (bs backendSpec) open(dir string) (store.Backend, error) {
-	if bs.kind == "net" {
-		return netblock.Dial(bs.addrs, netblock.Options{})
-	}
-	return store.NewDirBackend(filepath.Join(dir, "blocks"))
-}
-
-// wireLine formats the wire-traffic totals, empty for in-process
-// backends.
-func wireLine(m store.Metrics) string {
-	if m.WireSentBytes == 0 && m.WireRecvBytes == 0 {
-		return ""
-	}
-	return fmt.Sprintf("wire: %d bytes sent / %d bytes received\n", m.WireSentBytes, m.WireRecvBytes)
-}
-
-func storeStatePath(dir string) string { return filepath.Join(dir, "store.json") }
-
-// backendMarkerPath records which backend kind a store was created with,
-// so a net-backed store opened without its flags fails fast instead of
-// presenting as an empty dir store (and vice versa). Stores predating
-// the marker were always dir-backed.
-func backendMarkerPath(dir string) string { return filepath.Join(dir, "backend") }
-
-// checkBackendKind validates spec against the store's recorded backend
-// kind.
-func checkBackendKind(dir string, spec backendSpec) error {
-	b, err := os.ReadFile(backendMarkerPath(dir))
-	recorded := "dir"
-	if err == nil {
-		recorded = strings.TrimSpace(string(b))
-	}
-	if recorded != spec.kind {
-		return fmt.Errorf("store at %s was created with -backend %s; re-run with -backend %s (and -nodes for net)", dir, recorded, recorded)
-	}
-	return nil
-}
-
-// codecByName maps a snapshot's codec string back to a constructor.
-func codecByName(n string) (store.Codec, error) {
-	switch n {
-	case "LRC(10,6,5)":
-		return store.NewXorbasCodec(), nil
-	case "RS(10,4)":
-		return store.NewRS104Codec(), nil
-	default:
-		return nil, fmt.Errorf("unknown codec %q in store state", n)
-	}
-}
-
-// openStore loads an existing on-disk store, inferring the codec from the
-// saved state.
-func openStore(dir string, spec backendSpec, metaDir string) (*store.Store, error) {
-	return openStoreRates(dir, spec, metaDir, 0, 0)
-}
-
-// openStoreRates is openStore with read-rate budgets for the background
-// datapaths (bytes/sec, 0 = unlimited). With a metaDir, the plane is
-// authoritative for manifests (store.json imports only into an empty
-// plane — the migration path) and this invocation's commits hit its WAL.
-func openStoreRates(dir string, spec backendSpec, metaDir string, repairRate, scrubRate int64) (*store.Store, error) {
-	blob, err := os.ReadFile(storeStatePath(dir))
-	if err != nil {
-		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
-	}
-	if err := checkBackendKind(dir, spec); err != nil {
-		return nil, err
-	}
-	var peek struct {
-		Codec string `json:"codec"`
-		Nodes int    `json:"nodes"`
-	}
-	if err := json.Unmarshal(blob, &peek); err != nil {
-		return nil, err
-	}
-	codec, err := codecByName(peek.Codec)
-	if err != nil {
-		return nil, err
-	}
-	if spec.kind == "net" && len(spec.addrs) != peek.Nodes {
-		return nil, fmt.Errorf("store has %d nodes but -nodes lists %d addresses", peek.Nodes, len(spec.addrs))
-	}
-	be, err := spec.open(dir)
-	if err != nil {
-		return nil, err
-	}
-	s, err := store.Restore(store.Config{
-		Codec:           codec,
-		Backend:         be,
-		MetaDir:         metaDir,
-		RepairRateBytes: repairRate,
-		ScrubRateBytes:  scrubRate,
-	}, blob)
-	if err != nil {
-		return nil, err
-	}
-	rememberMetaDir(dir, metaDir)
-	return s, nil
-}
-
-// saveStore writes the store's metadata snapshot back to disk (with a
-// metadata plane this is an export for inspection and migration — the
-// plane itself is already durable) and closes the store, checkpointing
-// the plane so the next open replays nothing.
-func saveStore(dir string, s *store.Store) error {
-	blob, err := s.Snapshot()
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(storeStatePath(dir), blob, 0o644); err != nil {
-		return err
-	}
-	return s.Close()
-}
-
-func storePut(dir string, spec backendSpec, metaDir, in, name string, useRS bool, racks, blockSize int, stream bool) error {
+func storePut(sf *cliutil.StoreFlags, in, name string, racks, blockSize int, stream bool) error {
 	if in == "" {
 		return fmt.Errorf("store put needs -in")
 	}
@@ -319,34 +129,16 @@ func storePut(dir string, spec backendSpec, metaDir, in, name string, useRS bool
 		}
 		name = filepath.Base(in)
 	}
-	var s *store.Store
-	if _, err := os.Stat(storeStatePath(dir)); err == nil {
-		if s, err = openStore(dir, spec, metaDir); err != nil {
-			return err
-		}
-		if useRS && !strings.HasPrefix(s.Codec().Name(), "RS") {
-			fmt.Fprintf(os.Stderr, "note: store already exists with codec %s; -rs is only honored on first use\n", s.Codec().Name())
-		}
-	} else {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-		be, err := spec.open(dir)
-		if err != nil {
-			return err
-		}
-		var codec store.Codec = store.NewXorbasCodec()
-		if useRS {
-			codec = store.NewRS104Codec()
-		}
-		s, err = store.New(store.Config{Codec: codec, Backend: be, Nodes: spec.count, Racks: racks, BlockSize: blockSize, MetaDir: metaDir})
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(backendMarkerPath(dir), []byte(spec.kind+"\n"), 0o644); err != nil {
-			return err
-		}
-		rememberMetaDir(dir, metaDir)
+	existed := false
+	if _, err := os.Stat(cliutil.StoreStatePath(*sf.Dir)); err == nil {
+		existed = true
+	}
+	s, err := sf.OpenOrCreate(racks, blockSize)
+	if err != nil {
+		return err
+	}
+	if existed && *sf.Code == "rs" && !strings.HasPrefix(s.Codec().Name(), "RS") {
+		fmt.Fprintf(os.Stderr, "note: store already exists with codec %s; -rs is only honored on first use\n", s.Codec().Name())
 	}
 	var size int64
 	start := time.Now()
@@ -363,10 +155,8 @@ func storePut(dir string, spec backendSpec, metaDir, in, name string, useRS bool
 		if err := s.PutReader(name, r); err != nil {
 			return err
 		}
-		for _, o := range s.Objects() {
-			if o.Name == name {
-				size = int64(o.Size)
-			}
+		if st, err := s.Stat(name); err == nil {
+			size = int64(st.Size)
 		}
 	} else {
 		data, err := os.ReadFile(in)
@@ -379,22 +169,22 @@ func storePut(dir string, spec backendSpec, metaDir, in, name string, useRS bool
 		size = int64(len(data))
 	}
 	elapsed := time.Since(start)
-	if err := saveStore(dir, s); err != nil {
+	if err := cliutil.SaveStore(*sf.Dir, s); err != nil {
 		return err
 	}
 	m := s.Metrics()
 	fmt.Printf("put %s: %d bytes as %s over %d nodes / %d racks (%d blocks, %d bytes written) in %v (%s)\n",
 		name, size, s.Codec().Name(), s.Nodes(), s.Racks(), m.PutBlocks, m.PutBytes,
-		elapsed.Round(time.Millisecond), mbps(size, elapsed))
-	fmt.Print(wireLine(m))
+		elapsed.Round(time.Millisecond), cliutil.Mbps(size, elapsed))
+	fmt.Print(cliutil.WireLine(m))
 	return nil
 }
 
-func storeGet(dir string, spec backendSpec, metaDir, name, out string, stream bool) error {
+func storeGet(sf *cliutil.StoreFlags, name, out string, stream bool) error {
 	if name == "" {
 		return fmt.Errorf("store get needs -name")
 	}
-	s, err := openStore(dir, spec, metaDir)
+	s, err := sf.Open()
 	if err != nil {
 		return err
 	}
@@ -452,16 +242,16 @@ func storeGet(dir string, spec backendSpec, metaDir, name, out string, stream bo
 	}
 	fmt.Fprintf(report, "get %s: %d bytes, %s; read %d blocks / %d bytes in %v (%s)\n",
 		name, size, mode, info.BlocksRead, info.BytesRead,
-		elapsed.Round(time.Millisecond), mbps(size, elapsed))
-	fmt.Fprint(report, wireLine(s.Metrics()))
+		elapsed.Round(time.Millisecond), cliutil.Mbps(size, elapsed))
+	fmt.Fprint(report, cliutil.WireLine(s.Metrics()))
 	return nil
 }
 
-func storeSetNode(dir string, spec backendSpec, metaDir string, node int, up bool) error {
+func storeSetNode(sf *cliutil.StoreFlags, node int, up bool) error {
 	if node < 0 {
 		return fmt.Errorf("need -node")
 	}
-	s, err := openStore(dir, spec, metaDir)
+	s, err := sf.Open()
 	if err != nil {
 		return err
 	}
@@ -475,17 +265,17 @@ func storeSetNode(dir string, spec backendSpec, metaDir string, node int, up boo
 		s.KillNode(node)
 		fmt.Printf("node %d killed: its blocks are unreadable until scrub repairs them elsewhere\n", node)
 	}
-	return saveStore(dir, s)
+	return cliutil.SaveStore(*sf.Dir, s)
 }
 
-func storeCorrupt(dir string, spec backendSpec, metaDir, name string, stripe, pos int, silent bool) error {
+func storeCorrupt(sf *cliutil.StoreFlags, name string, stripe, pos int, silent bool) error {
 	if name == "" {
 		return fmt.Errorf("store corrupt needs -name")
 	}
-	if spec.kind != "dir" {
+	if *sf.Backend != "dir" {
 		return fmt.Errorf("store corrupt edits block files directly and needs -backend dir (corrupt a net node's files on its own machine instead)")
 	}
-	s, err := openStore(dir, spec, metaDir)
+	s, err := sf.Open()
 	if err != nil {
 		return err
 	}
@@ -521,8 +311,8 @@ func storeCorrupt(dir string, spec backendSpec, metaDir, name string, stripe, po
 	return nil
 }
 
-func storeScrub(dir string, spec backendSpec, metaDir string, workers int, scrubRate, repairRate int64) error {
-	s, err := openStoreRates(dir, spec, metaDir, repairRate, scrubRate)
+func storeScrub(sf *cliutil.StoreFlags, workers int, scrubRate, repairRate int64) error {
+	s, err := sf.OpenRates(repairRate, scrubRate)
 	if err != nil {
 		return err
 	}
@@ -540,17 +330,17 @@ func storeScrub(dir string, spec backendSpec, metaDir string, workers int, scrub
 	fmt.Printf("repair: %d blocks / %d bytes rebuilt (%d light / %d heavy), %d blocks / %d bytes read, in %v (%s repaired)\n",
 		m.RepairedBlocks, m.RepairedBytes, m.RepairsLight, m.RepairsHeavy,
 		m.RepairBlocksRead, m.RepairBytesRead,
-		elapsed.Round(time.Millisecond), mbps(m.RepairedBytes, elapsed))
-	fmt.Print(wireLine(m))
-	return saveStore(dir, s)
+		elapsed.Round(time.Millisecond), cliutil.Mbps(m.RepairedBytes, elapsed))
+	fmt.Print(cliutil.WireLine(m))
+	return cliutil.SaveStore(*sf.Dir, s)
 }
 
 // storeRepairDrain repairs node-loss damage from the manifests alone: a
 // presence walk (no reads, no CRC work) feeds the queue, then the worker
 // pool drains it. The per-invocation barrier a kill-node workflow needs,
 // without paying for a full integrity walk.
-func storeRepairDrain(dir string, spec backendSpec, metaDir string, workers int, repairRate int64) error {
-	s, err := openStoreRates(dir, spec, metaDir, repairRate, 0)
+func storeRepairDrain(sf *cliutil.StoreFlags, workers int, repairRate int64) error {
+	s, err := sf.OpenRates(repairRate, 0)
 	if err != nil {
 		return err
 	}
@@ -568,19 +358,19 @@ func storeRepairDrain(dir string, spec backendSpec, metaDir string, workers int,
 	fmt.Printf("repair: %d blocks / %d bytes rebuilt (%d light / %d heavy), %d blocks / %d bytes read, in %v (%s repaired)\n",
 		m.RepairedBlocks, m.RepairedBytes, m.RepairsLight, m.RepairsHeavy,
 		m.RepairBlocksRead, m.RepairBytesRead,
-		elapsed.Round(time.Millisecond), mbps(m.RepairedBytes, elapsed))
-	fmt.Print(wireLine(m))
-	return saveStore(dir, s)
+		elapsed.Round(time.Millisecond), cliutil.Mbps(m.RepairedBytes, elapsed))
+	fmt.Print(cliutil.WireLine(m))
+	return cliutil.SaveStore(*sf.Dir, s)
 }
 
-func storeStats(dir string, spec backendSpec, metaDir string) error {
-	s, err := openStore(dir, spec, metaDir)
+func storeStats(sf *cliutil.StoreFlags) error {
+	s, err := sf.Open()
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	fmt.Printf("store %s: codec %s, %d nodes / %d racks\n", dir, s.Codec().Name(), s.Nodes(), s.Racks())
-	if metaDir != "" {
+	fmt.Printf("store %s: codec %s, %d nodes / %d racks\n", *sf.Dir, s.Codec().Name(), s.Nodes(), s.Racks())
+	if metaDir := sf.MetaDir(); metaDir != "" {
 		objects, replayed := s.MetaRecovered()
 		fmt.Printf("meta plane %s: %d manifests recovered, %d WAL records replayed at open\n",
 			metaDir, objects, replayed)

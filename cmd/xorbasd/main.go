@@ -1,0 +1,116 @@
+// Command xorbasd serves a store over HTTP: an S3-flavored object
+// gateway (PUT/GET/HEAD/DELETE, prefix lists, ranged reads, multipart
+// uploads) in front of the LRC/RS erasure-coded store.
+//
+//	xorbasd -dir /tmp/demo
+//	curl -T report.pdf http://127.0.0.1:8080/t/acme/reports/q3.pdf
+//	curl -r 0-1023    http://127.0.0.1:8080/t/acme/reports/q3.pdf
+//
+// It binds to loopback unless told otherwise; exposing it beyond the
+// host is an explicit -listen choice.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/gateway"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xorbasd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("xorbasd", flag.ExitOnError)
+	sf := cliutil.RegisterStoreFlags(fs)
+	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address (loopback by default; bind wider deliberately)")
+	racks := fs.Int("racks", 8, "racks, rack = node mod racks (store creation only)")
+	blockSize := fs.Int("block", 64<<10, "max data-block bytes (store creation only)")
+	rate := fs.Int64("tenant-rate", 0, "per-tenant byte budget per second across puts and gets; over budget = 429 (0 = unlimited)")
+	inflight := fs.Int64("tenant-inflight", 0, "per-tenant concurrent request cap; over cap = 429 (0 = unlimited)")
+	repairRate := fs.Int64("repair-rate", 0, "repair read budget, bytes/sec (0 = unlimited)")
+	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget, bytes/sec (0 = unlimited)")
+	tokens := map[string]string{}
+	fs.Func("token", "tenant=secret bearer token, repeatable; tenants without one are open", func(v string) error {
+		tenant, secret, ok := strings.Cut(v, "=")
+		if !ok || tenant == "" || secret == "" {
+			return fmt.Errorf("-token wants tenant=secret, got %q", v)
+		}
+		tokens[tenant] = secret
+		return nil
+	})
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *sf.Dir == "" {
+		return fmt.Errorf("need -dir")
+	}
+
+	s, err := sf.OpenOrCreate(*racks, *blockSize)
+	if err != nil {
+		return err
+	}
+	if *repairRate != 0 || *scrubRate != 0 {
+		// Rate flags only matter on reopen; OpenOrCreate opens at 0,0, so
+		// reopen with the budgets when any were asked for.
+		if err := s.Close(); err != nil {
+			return err
+		}
+		if s, err = sf.OpenRates(*repairRate, *scrubRate); err != nil {
+			return err
+		}
+	}
+
+	g, err := gateway.New(gateway.Config{
+		Store:       s,
+		Tokens:      tokens,
+		BytesPerSec: *rate,
+		MaxInflight: *inflight,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           g,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("xorbasd: serving %s (%s, %d nodes) on http://%s", *sf.Dir, s.Codec().Name(), s.Nodes(), *listen)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe never returns nil; the store is still consistent
+		// (acked writes are in the plane), so just report the bind error.
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("xorbasd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("xorbasd: shutdown: %v", err)
+	}
+	return cliutil.SaveStore(*sf.Dir, s)
+}

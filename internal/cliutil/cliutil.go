@@ -1,0 +1,343 @@
+// Package cliutil is the shared plumbing between the binaries that open
+// a store from command-line flags: xorbasctl's store subcommands, the
+// xorbasd HTTP gateway, and anything after them. One definition of the
+// -dir/-backend/-nodes/-meta/-code contract — how a store directory, its
+// block backend, its metadata plane and its codec are described and
+// remembered — so the tools cannot drift apart on what a store path
+// means.
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netblock"
+	"repro/internal/store"
+)
+
+// StoreFlags holds the parsed shared store flags. Register it on a
+// FlagSet with RegisterStoreFlags, parse, then Open/OpenOrCreate.
+type StoreFlags struct {
+	Dir     *string
+	Backend *string
+	Nodes   *string
+	Meta    *string
+	Code    *string
+}
+
+// RegisterStoreFlags registers the shared store flags on fs:
+//
+//	-dir      store directory (required)
+//	-backend  dir | net
+//	-nodes    node count (dir) or host:port list (net)
+//	-meta     metadata plane directory; "" reuses the recorded one, "none" disables
+//	-code     lrc | rs (first use only)
+func RegisterStoreFlags(fs *flag.FlagSet) *StoreFlags {
+	return &StoreFlags{
+		Dir:     fs.String("dir", "", "store directory"),
+		Backend: fs.String("backend", "dir", "block backend: dir (subdirectories under -dir) or net (TCP block servers)"),
+		Nodes:   fs.String("nodes", "20", "dir backend: simulated node count (first use only); net backend: comma-separated host:port list, one address per node"),
+		Meta:    fs.String("meta", "", "metadata plane directory (WAL + checkpoint; durable acked puts); default: reuse the store's recorded plane; 'none' = snapshot-only"),
+		Code:    fs.String("code", "lrc", "erasure code on first use: lrc = LRC(10,6,5), rs = RS(10,4)"),
+	}
+}
+
+// Spec resolves -backend and -nodes into a BackendSpec.
+func (f *StoreFlags) Spec() (BackendSpec, error) {
+	return ParseBackendSpec(*f.Backend, *f.Nodes)
+}
+
+// MetaDir resolves -meta against the store directory's recorded plane.
+func (f *StoreFlags) MetaDir() string {
+	return ResolveMetaDir(*f.Dir, *f.Meta)
+}
+
+// Codec resolves -code into a constructor.
+func (f *StoreFlags) Codec() (store.Codec, error) {
+	switch *f.Code {
+	case "", "lrc":
+		return store.NewXorbasCodec(), nil
+	case "rs":
+		return store.NewRS104Codec(), nil
+	default:
+		return nil, fmt.Errorf("unknown -code %q (want lrc or rs)", *f.Code)
+	}
+}
+
+// Open opens the existing store the parsed flags describe — the shared
+// open-store-from-flags path.
+func (f *StoreFlags) Open() (*store.Store, error) {
+	return f.OpenRates(0, 0)
+}
+
+// OpenRates is Open with background read-rate budgets (bytes/sec, 0 =
+// unlimited).
+func (f *StoreFlags) OpenRates(repairRate, scrubRate int64) (*store.Store, error) {
+	if *f.Dir == "" {
+		return nil, fmt.Errorf("need -dir")
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return OpenStoreRates(*f.Dir, spec, f.MetaDir(), repairRate, scrubRate)
+}
+
+// OpenOrCreate opens the store at -dir, creating an empty one with the
+// -code codec and the given geometry when none exists yet. On creation
+// the backend kind and metadata plane are recorded and a snapshot is
+// written immediately, so the directory reopens even if the process is
+// later killed without a clean save.
+func (f *StoreFlags) OpenOrCreate(racks, blockSize int) (*store.Store, error) {
+	if *f.Dir == "" {
+		return nil, fmt.Errorf("need -dir")
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		return nil, err
+	}
+	metaDir := f.MetaDir()
+	if _, err := os.Stat(StoreStatePath(*f.Dir)); err == nil {
+		return OpenStoreRates(*f.Dir, spec, metaDir, 0, 0)
+	}
+	codec, err := f.Codec()
+	if err != nil {
+		return nil, err
+	}
+	return CreateStore(*f.Dir, spec, metaDir, codec, racks, blockSize)
+}
+
+// BackendSpec is how the CLI reaches block bytes: subdirectories of the
+// store directory, or a fleet of TCP block servers.
+type BackendSpec struct {
+	Kind  string   // "dir" or "net"
+	Addrs []string // net: one host:port per store node
+	Count int      // node count (net: len(Addrs); dir: first-use count)
+}
+
+// ParseBackendSpec interprets -backend and -nodes together: the -nodes
+// flag is a node count for the dir backend and an address list for the
+// net backend.
+func ParseBackendSpec(kind, nodes string) (BackendSpec, error) {
+	switch kind {
+	case "dir":
+		n, err := strconv.Atoi(nodes)
+		if err != nil || n < 1 {
+			return BackendSpec{}, fmt.Errorf("-backend dir needs -nodes to be a positive node count, got %q", nodes)
+		}
+		return BackendSpec{Kind: kind, Count: n}, nil
+	case "net":
+		addrs := strings.Split(nodes, ",")
+		for i, a := range addrs {
+			addrs[i] = strings.TrimSpace(a)
+			if !strings.Contains(addrs[i], ":") {
+				return BackendSpec{}, fmt.Errorf("-backend net needs -nodes as host:port,host:port,...; %q has no port", a)
+			}
+		}
+		return BackendSpec{Kind: kind, Addrs: addrs, Count: len(addrs)}, nil
+	default:
+		return BackendSpec{}, fmt.Errorf("unknown -backend %q (want dir or net)", kind)
+	}
+}
+
+// Open builds the block backend for a store rooted at dir.
+func (bs BackendSpec) Open(dir string) (store.Backend, error) {
+	if bs.Kind == "net" {
+		return netblock.Dial(bs.Addrs, netblock.Options{})
+	}
+	return store.NewDirBackend(filepath.Join(dir, "blocks"))
+}
+
+// StoreStatePath is where a store directory keeps its metadata snapshot.
+func StoreStatePath(dir string) string { return filepath.Join(dir, "store.json") }
+
+// metaMarkerPath records where a store's metadata plane lives, so later
+// invocations find it without repeating -meta.
+func metaMarkerPath(dir string) string { return filepath.Join(dir, "metadir") }
+
+// ResolveMetaDir interprets -meta: an explicit directory wins, "none"
+// forces the legacy snapshot-only mode, and "" falls back to the plane
+// the store was created with (the marker file), if any.
+func ResolveMetaDir(dir, flagVal string) string {
+	switch flagVal {
+	case "none":
+		return ""
+	case "":
+		if b, err := os.ReadFile(metaMarkerPath(dir)); err == nil {
+			return strings.TrimSpace(string(b))
+		}
+		return ""
+	default:
+		return flagVal
+	}
+}
+
+// RememberMetaDir persists the marker (best-effort: losing it only costs
+// a -meta flag on the next invocation).
+func RememberMetaDir(dir, metaDir string) {
+	if metaDir == "" {
+		return
+	}
+	_ = os.WriteFile(metaMarkerPath(dir), []byte(metaDir+"\n"), 0o644)
+}
+
+// backendMarkerPath records which backend kind a store was created with,
+// so a net-backed store opened without its flags fails fast instead of
+// presenting as an empty dir store (and vice versa). Stores predating
+// the marker were always dir-backed.
+func backendMarkerPath(dir string) string { return filepath.Join(dir, "backend") }
+
+// CheckBackendKind validates spec against the store's recorded backend
+// kind.
+func CheckBackendKind(dir string, spec BackendSpec) error {
+	b, err := os.ReadFile(backendMarkerPath(dir))
+	recorded := "dir"
+	if err == nil {
+		recorded = strings.TrimSpace(string(b))
+	}
+	if recorded != spec.Kind {
+		return fmt.Errorf("store at %s was created with -backend %s; re-run with -backend %s (and -nodes for net)", dir, recorded, recorded)
+	}
+	return nil
+}
+
+// RecordBackendKind persists the backend-kind marker at store creation.
+func RecordBackendKind(dir, kind string) error {
+	return os.WriteFile(backendMarkerPath(dir), []byte(kind+"\n"), 0o644)
+}
+
+// CodecByName maps a snapshot's codec string back to a constructor.
+func CodecByName(n string) (store.Codec, error) {
+	switch n {
+	case "LRC(10,6,5)":
+		return store.NewXorbasCodec(), nil
+	case "RS(10,4)":
+		return store.NewRS104Codec(), nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q in store state", n)
+	}
+}
+
+// OpenStore loads an existing on-disk store, inferring the codec from
+// the saved state.
+func OpenStore(dir string, spec BackendSpec, metaDir string) (*store.Store, error) {
+	return OpenStoreRates(dir, spec, metaDir, 0, 0)
+}
+
+// OpenStoreRates is OpenStore with read-rate budgets for the background
+// datapaths (bytes/sec, 0 = unlimited). With a metaDir, the plane is
+// authoritative for manifests (store.json imports only into an empty
+// plane — the migration path) and this invocation's commits hit its WAL.
+func OpenStoreRates(dir string, spec BackendSpec, metaDir string, repairRate, scrubRate int64) (*store.Store, error) {
+	blob, err := os.ReadFile(StoreStatePath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
+	}
+	if err := CheckBackendKind(dir, spec); err != nil {
+		return nil, err
+	}
+	var peek struct {
+		Codec string `json:"codec"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := json.Unmarshal(blob, &peek); err != nil {
+		return nil, err
+	}
+	codec, err := CodecByName(peek.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Kind == "net" && len(spec.Addrs) != peek.Nodes {
+		return nil, fmt.Errorf("store has %d nodes but -nodes lists %d addresses", peek.Nodes, len(spec.Addrs))
+	}
+	be, err := spec.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := store.Restore(store.Config{
+		Codec:           codec,
+		Backend:         be,
+		MetaDir:         metaDir,
+		RepairRateBytes: repairRate,
+		ScrubRateBytes:  scrubRate,
+	}, blob)
+	if err != nil {
+		return nil, err
+	}
+	RememberMetaDir(dir, metaDir)
+	return s, nil
+}
+
+// CreateStore makes a fresh store at dir with the given backend spec,
+// metadata plane, codec and geometry, recording the markers and an
+// initial snapshot so the directory reopens even after an unclean exit.
+func CreateStore(dir string, spec BackendSpec, metaDir string, codec store.Codec, racks, blockSize int) (*store.Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	be, err := spec.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := store.New(store.Config{
+		Codec:     codec,
+		Backend:   be,
+		Nodes:     spec.Count,
+		Racks:     racks,
+		BlockSize: blockSize,
+		MetaDir:   metaDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := RecordBackendKind(dir, spec.Kind); err != nil {
+		return nil, err
+	}
+	RememberMetaDir(dir, metaDir)
+	blob, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(StoreStatePath(dir), blob, 0o644); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SaveStore writes the store's metadata snapshot back to disk (with a
+// metadata plane this is an export for inspection and migration — the
+// plane itself is already durable) and closes the store, checkpointing
+// the plane so the next open replays nothing.
+func SaveStore(dir string, s *store.Store) error {
+	blob, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(StoreStatePath(dir), blob, 0o644); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// Mbps formats a transfer rate; the CLIs double as quick perf probes.
+func Mbps(bytes int64, d time.Duration) string {
+	if d <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f MB/s", float64(bytes)/1e6/d.Seconds())
+}
+
+// WireLine formats the wire-traffic totals, empty for in-process
+// backends.
+func WireLine(m store.Metrics) string {
+	if m.WireSentBytes == 0 && m.WireRecvBytes == 0 {
+		return ""
+	}
+	return fmt.Sprintf("wire: %d bytes sent / %d bytes received\n", m.WireSentBytes, m.WireRecvBytes)
+}

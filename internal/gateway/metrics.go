@@ -1,0 +1,127 @@
+package gateway
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// The gateway's observability is a handful of lock-free counters plus a
+// log-scale latency histogram per verb: enough to read request mix,
+// throughput and tail latency off /metrics without a metrics dependency
+// the container doesn't have.
+
+// latBuckets is the histogram's bucket count. A request lands in the
+// bucket indexed by the bit length of its latency in microseconds —
+// bucket i covers [2^(i-1), 2^i) µs — so 40 buckets span sub-microsecond
+// to around nine minutes at factor-of-two resolution.
+const latBuckets = 40
+
+// verbStats is one verb's request count and latency histogram.
+type verbStats struct {
+	count atomic.Int64
+	lat   [latBuckets]atomic.Int64
+}
+
+func (v *verbStats) observe(d time.Duration) {
+	v.count.Add(1)
+	b := bits.Len64(uint64(d.Microseconds()))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	v.lat[b].Add(1)
+}
+
+// quantile estimates the q-quantile (0..1) latency in milliseconds: the
+// upper edge of the bucket where the cumulative count crosses the
+// target. Factor-of-two coarse, but stable, lock-free, and honest about
+// tails (it rounds up, never down).
+func (v *verbStats) quantile(q float64) float64 {
+	var counts [latBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = v.lat[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return float64(uint64(1)<<uint(i)) / 1e3
+		}
+	}
+	return float64(uint64(1)<<latBuckets) / 1e3
+}
+
+// verbNames are the fixed verb buckets; OTHER absorbs methods the
+// gateway rejects.
+var verbNames = []string{"PUT", "GET", "HEAD", "DELETE", "POST", "LIST", "OTHER"}
+
+// metricsState is the gateway-wide counter set.
+type metricsState struct {
+	verbs    map[string]*verbStats // fixed at init; read-only map, atomic values
+	bytesIn  atomic.Int64          // object bytes received (PUT bodies, parts)
+	bytesOut atomic.Int64          // object bytes served (GET bodies)
+	rejected atomic.Int64          // admission-control 429s
+}
+
+func (m *metricsState) init() {
+	m.verbs = make(map[string]*verbStats, len(verbNames))
+	for _, v := range verbNames {
+		m.verbs[v] = &verbStats{}
+	}
+}
+
+func (m *metricsState) verb(name string) *verbStats {
+	if v, ok := m.verbs[name]; ok {
+		return v
+	}
+	return m.verbs["OTHER"]
+}
+
+// VerbSnapshot is one verb's point-in-time stats in a /metrics reply.
+type VerbSnapshot struct {
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Snapshot is the /metrics JSON document: gateway counters plus the
+// store's own metrics (so one curl shows HTTP traffic and the erasure
+// datapath behind it side by side).
+type Snapshot struct {
+	Verbs             map[string]VerbSnapshot `json:"verbs"`
+	BytesIn           int64                   `json:"bytes_in"`
+	BytesOut          int64                   `json:"bytes_out"`
+	AdmissionRejected int64                   `json:"admission_rejected"`
+	Store             store.Metrics           `json:"store"`
+}
+
+// Metrics returns a point-in-time snapshot of the gateway's counters.
+func (g *Gateway) Metrics() Snapshot {
+	verbs := make(map[string]VerbSnapshot, len(verbNames))
+	for _, name := range verbNames {
+		v := g.m.verbs[name]
+		n := v.count.Load()
+		if n == 0 {
+			continue
+		}
+		verbs[name] = VerbSnapshot{Requests: n, P50Ms: v.quantile(0.50), P99Ms: v.quantile(0.99)}
+	}
+	return Snapshot{
+		Verbs:             verbs,
+		BytesIn:           g.m.bytesIn.Load(),
+		BytesOut:          g.m.bytesOut.Load(),
+		AdmissionRejected: g.m.rejected.Load(),
+		Store:             g.st.Metrics(),
+	}
+}

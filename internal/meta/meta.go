@@ -18,11 +18,17 @@
 package meta
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosed reports a commit against a DB that has already been closed.
+// Callers race shutdown against in-flight work; errors.Is(err, ErrClosed)
+// lets them treat the loss as orderly teardown rather than corruption.
+var ErrClosed = errors.New("meta: DB closed")
 
 // Codec translates stored values to and from their durable byte form.
 // The key is passed so one DB can hold differently-typed records under
@@ -358,7 +364,7 @@ func (db *DB) commit(fn func(tx *Tx), sync bool) error {
 	db.commitMu.Lock()
 	if db.closed {
 		db.commitMu.Unlock()
-		return fmt.Errorf("meta: commit on closed DB")
+		return fmt.Errorf("%w: commit", ErrClosed)
 	}
 	fn(tx)
 	if tx.err != nil {

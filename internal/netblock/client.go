@@ -232,7 +232,9 @@ func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) 
 		case statusOK:
 			return body, nil
 		case statusNotFound:
-			return nil, fmt.Errorf("%w: node %d key %q", store.ErrNotFound, node, key)
+			return nil, fmt.Errorf("%w: node %d key %q", store.ErrBlockNotFound, node, key)
+		case statusBadKey:
+			return nil, fmt.Errorf("%w: node %d: %s", store.ErrBadKey, node, body)
 		default:
 			return nil, fmt.Errorf("netblock: node %d: remote error: %s", node, body)
 		}

@@ -76,6 +76,11 @@ func TestClientServerRoundTrip(t *testing.T) {
 	if err := c.Delete(0, "never-existed"); err != nil {
 		t.Fatalf("delete missing: %v", err)
 	}
+	// A rejected key comes back as the typed sentinel, matchable with
+	// errors.Is exactly as a local backend's would be.
+	if _, err := c.Read(0, ".."); !errors.Is(err, store.ErrBadKey) {
+		t.Fatalf("read of hostile key: got %v, want ErrBadKey", err)
+	}
 }
 
 // TestWireCounters checks the per-node sent/received accounting against
@@ -252,7 +257,7 @@ func TestPayloadOnNonWriteRejected(t *testing.T) {
 
 // TestHostileRequestsRejected sends wire requests no real client emits —
 // path-traversal keys, ".."/empty keys, a negative node id — and asserts
-// the server answers statusError without the backend ever seeing them.
+// the server answers statusBadKey without the backend ever seeing them.
 // The backend is a DirBackend rooted one level below a temp dir, so a
 // traversal key that slipped through would land a file outside the
 // store root; the test checks none does.
@@ -294,8 +299,8 @@ func TestHostileRequestsRejected(t *testing.T) {
 		if err != nil {
 			t.Fatalf("op %q node %d key %q: %v", tc.op, tc.node, tc.key, err)
 		}
-		if status != statusError {
-			t.Fatalf("op %q node %d key %q: status %d (%q), want statusError",
+		if status != statusBadKey {
+			t.Fatalf("op %q node %d key %q: status %d (%q), want statusBadKey",
 				tc.op, tc.node, tc.key, status, body)
 		}
 	}

@@ -14,9 +14,13 @@
 //
 // op is one of opWrite/opRead/opDelete/opPing; data is the framed block
 // for writes, empty otherwise. status is statusOK (data = block bytes on
-// reads), statusNotFound, or statusError (data = error message). One
-// request is answered by exactly one response, in order, so a connection
-// carries a simple call/reply stream and pools trivially.
+// reads), statusNotFound, statusBadKey (the request's key or node failed
+// validation; data = error message), or statusError (data = error
+// message). The client maps statuses back onto the store's typed errors
+// — store.ErrBlockNotFound, store.ErrBadKey — so errors.Is works the
+// same against a remote backend as a local one. One request is answered
+// by exactly one response, in order, so a connection carries a simple
+// call/reply stream and pools trivially.
 package netblock
 
 import (
@@ -39,6 +43,7 @@ const (
 	statusOK       = 0
 	statusNotFound = 1
 	statusError    = 2
+	statusBadKey   = 3
 )
 
 const (

@@ -203,19 +203,21 @@ func (s *Server) handle(conn net.Conn) {
 // blockKey and the tmpPrefix comment in internal/store), which excludes
 // path separators outright; "." and ".." are the only in-charset names
 // with path meaning and are rejected explicitly. Node ids must be
-// non-negative for every op, and every op but ping needs a key.
+// non-negative for every op, and every op but ping needs a key. Every
+// rejection wraps store.ErrBadKey, which execute answers as
+// statusBadKey so the client can surface the same sentinel.
 func validateRequest(req *request) error {
 	if req.node < 0 {
-		return fmt.Errorf("netblock: negative node id %d", req.node)
+		return fmt.Errorf("%w: negative node id %d", store.ErrBadKey, req.node)
 	}
 	if req.op == opPing {
 		return nil
 	}
 	if req.key == "" {
-		return errors.New("netblock: empty key")
+		return fmt.Errorf("%w: empty key", store.ErrBadKey)
 	}
 	if req.key == "." || req.key == ".." {
-		return fmt.Errorf("netblock: invalid key %q", req.key)
+		return fmt.Errorf("%w: invalid key %q", store.ErrBadKey, req.key)
 	}
 	for i := 0; i < len(req.key); i++ {
 		c := req.key[i]
@@ -223,7 +225,7 @@ func validateRequest(req *request) error {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
 			c == '.', c == '-', c == '_':
 		default:
-			return fmt.Errorf("netblock: invalid key %q: byte %q outside [A-Za-z0-9._-]", req.key, c)
+			return fmt.Errorf("%w: invalid key %q: byte %q outside [A-Za-z0-9._-]", store.ErrBadKey, req.key, c)
 		}
 	}
 	return nil
@@ -232,7 +234,7 @@ func validateRequest(req *request) error {
 // execute runs one decoded request against the backend.
 func (s *Server) execute(req *request) (status byte, data []byte) {
 	if err := validateRequest(req); err != nil {
-		return statusError, []byte(err.Error())
+		return statusBadKey, []byte(err.Error())
 	}
 	switch req.op {
 	case opWrite:

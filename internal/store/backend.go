@@ -21,7 +21,8 @@ type Backend interface {
 	// implementations must copy or persist the bytes, never retain the
 	// slice.
 	Write(node int, key string, data []byte) error
-	// Read returns the block bytes, or ErrNotFound. The returned slice
+	// Read returns the block bytes, or an error wrapping
+	// ErrBlockNotFound. The returned slice
 	// may alias the backend's own storage: callers must treat it as
 	// read-only (every consumer in the store does — payloads are decoded,
 	// verified and served, never edited in place).
@@ -48,12 +49,6 @@ type OwnedWriter interface {
 type WireStats interface {
 	WireTraffic() (sent, recv []int64)
 }
-
-// ErrNotFound reports a block absent from a backend.
-var ErrNotFound = errors.New("store: block not found")
-
-// ErrCorrupt reports a block whose payload does not match its checksum.
-var ErrCorrupt = errors.New("store: block checksum mismatch")
 
 // castagnoli is the CRC32C table (the polynomial HDFS uses for block
 // checksums).
@@ -132,7 +127,7 @@ func (m *MemBackend) Read(node int, key string) ([]byte, error) {
 	defer m.mu.RUnlock()
 	b, ok := m.nodes[node][key]
 	if !ok {
-		return nil, fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
+		return nil, fmt.Errorf("%w: node %d key %q", ErrBlockNotFound, node, key)
 	}
 	return b, nil
 }
@@ -154,7 +149,7 @@ func (m *MemBackend) Corrupt(node int, key string) error {
 	defer m.mu.Unlock()
 	b, ok := m.nodes[node][key]
 	if !ok {
-		return fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
+		return fmt.Errorf("%w: node %d key %q", ErrBlockNotFound, node, key)
 	}
 	nb := append([]byte(nil), b...)
 	nb[len(nb)-1] ^= 0xFF
@@ -250,7 +245,7 @@ func (d *DirBackend) Write(node int, key string, data []byte) error {
 func (d *DirBackend) Read(node int, key string) ([]byte, error) {
 	b, err := os.ReadFile(d.Path(node, key))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: node %d key %q", ErrNotFound, node, key)
+		return nil, fmt.Errorf("%w: node %d key %q", ErrBlockNotFound, node, key)
 	}
 	return b, err
 }

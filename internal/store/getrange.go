@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"io"
+)
+
+// GetRange streams bytes [off, off+length) of an object to w, with
+// length < 0 meaning "to the end". Only the stripes the range overlaps
+// are visited and, within each, only the data blocks the range covers
+// are read (reconstructed when missing or corrupt, exactly like a full
+// read) — a small range on a large object costs its covering blocks,
+// not the object. The serving tier's Range: requests ride on this.
+//
+// off outside [0, size] returns ErrBadRange; length past the end is
+// clamped. Like GetWriter, a failed attempt retries with a fresh
+// manifest snapshot while nothing has been written to w; once bytes are
+// out a failure is final.
+func (s *Store) GetRange(name string, off, length int64, w io.Writer) (ReadInfo, error) {
+	cw := &countingWriter{w: w}
+	for attempt := 0; ; attempt++ {
+		gen0, muts0, _ := s.versionState(name)
+		info, gen, err := s.streamRangeVersion(name, off, length, cw)
+		info.BytesWritten = cw.n
+		if err == nil || attempt >= 8 || cw.n > 0 {
+			return info, err
+		}
+		curGen, curMuts, found := s.versionState(name)
+		if !found {
+			return info, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+		}
+		if curGen == gen && curGen == gen0 && curMuts == muts0 {
+			return info, err
+		}
+	}
+}
+
+// rangeSeg is one stripe's overlap with a requested range: the stripe
+// index, the byte window [lo, hi) within the stripe's data, and the
+// covering block positions [pLo, pHi].
+type rangeSeg struct {
+	idx      int
+	lo, hi   int
+	pLo, pHi int
+}
+
+// streamRangeVersion performs one ranged read attempt against the
+// object version current at entry, returning that version's generation.
+// Same pipeline shape as streamVersion — while segment i drains to w,
+// segment i+1 is already fetching into the other scratch slice — but
+// each fetch covers only the blocks its byte window needs.
+func (s *Store) streamRangeVersion(name string, off, length int64, w io.Writer) (ReadInfo, int64, error) {
+	stripes, gen, ok := s.manifestSnapshot(name)
+	if !ok {
+		return ReadInfo{}, 0, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	defer s.unpin(name, gen)
+	var size int64
+	for i := range stripes {
+		size += int64(stripes[i].DataLen)
+	}
+	if off < 0 || off > size {
+		return ReadInfo{}, gen, fmt.Errorf("%w: offset %d of %d-byte object %q", ErrBadRange, off, size, name)
+	}
+	if length < 0 || off+length > size {
+		length = size - off
+	}
+	end := off + length
+	// Map the byte range onto stripe segments: [lo, hi) within each
+	// overlapping stripe, and the block positions covering that window.
+	var segs []rangeSeg
+	base := int64(0)
+	for i := range stripes {
+		dl := int64(stripes[i].DataLen)
+		if base+dl <= off {
+			base += dl
+			continue
+		}
+		if base >= end {
+			break
+		}
+		lo, hi := int64(0), dl
+		if off > base {
+			lo = off - base
+		}
+		if end < base+dl {
+			hi = end - base
+		}
+		if hi > lo {
+			bl := int64(stripes[i].BlockLen)
+			segs = append(segs, rangeSeg{
+				idx: i,
+				lo:  int(lo), hi: int(hi),
+				pLo: int(lo / bl), pHi: int((hi - 1) / bl),
+			})
+		}
+		base += dl
+	}
+	n := s.cfg.Codec.NStored()
+	acct := &readAcct{}
+	scratch := [2][][]byte{make([][]byte, n), make([][]byte, n)}
+	startFetch := func(i int) chan fetchResult {
+		ch := make(chan fetchResult, 1)
+		go func() {
+			ch <- s.fetchStripe(&stripes[segs[i].idx], scratch[i%2], segs[i].pLo, segs[i].pHi)
+		}()
+		return ch
+	}
+	var pending chan fetchResult
+	if len(segs) > 0 {
+		pending = startFetch(0)
+	}
+	for i := range segs {
+		res := <-pending
+		pending = nil
+		acct.add(&res.acct)
+		if res.err != nil {
+			s.m.mergeRead(acct)
+			return acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, segs[i].idx, res.err)
+		}
+		if i+1 < len(segs) {
+			pending = startFetch(i + 1)
+		}
+		seg := &segs[i]
+		bl := stripes[seg.idx].BlockLen
+		for pos := seg.pLo; pos <= seg.pHi; pos++ {
+			part := res.stripe[pos]
+			// Trim the block's payload to the stripe's data (short final
+			// stripe) and then to the segment's byte window.
+			blockLo, blockHi := pos*bl, (pos+1)*bl
+			if blockHi > seg.hi {
+				blockHi = seg.hi
+			}
+			cutLo := 0
+			if seg.lo > blockLo {
+				cutLo = seg.lo - blockLo
+			}
+			if blockHi <= blockLo+cutLo {
+				continue
+			}
+			part = part[cutLo : blockHi-blockLo]
+			if _, err := w.Write(part); err != nil {
+				if pending != nil {
+					<-pending // join the prefetch; its reads are uncharged on this failure path
+				}
+				s.m.mergeRead(acct)
+				return acct.info(), gen, fmt.Errorf("store: write object %q: %w", name, err)
+			}
+		}
+	}
+	s.m.mergeRead(acct)
+	return acct.info(), gen, nil
+}

@@ -14,6 +14,7 @@ import (
 //	o/<name>              an object's manifest (*objectInfo)
 //	q/<gen>.<idx>/<name>  a queued repair item (*repairRecord)
 //	s/state               liveness + generation watermark (*stateRecord)
+//	u/<id>                a serving-tier upload record (opaque []byte)
 //
 // Manifests are the hot records: committed durably before a Put acks,
 // relocated copy-on-write by repair workers, and walked by scrub
@@ -23,9 +24,10 @@ import (
 // infer them from.
 
 const (
-	objPrefix = "o/"
-	qPrefix   = "q/"
-	stateKey  = "s/state"
+	objPrefix    = "o/"
+	qPrefix      = "q/"
+	stateKey     = "s/state"
+	uploadPrefix = "u/"
 )
 
 func objKey(name string) string { return objPrefix + name }
@@ -83,7 +85,13 @@ func recordOf(it repairItem) *repairRecord {
 // metaCodec maps the store's record types to JSON by key prefix.
 type metaCodec struct{}
 
-func (metaCodec) Encode(key string, v any) ([]byte, error) { return json.Marshal(v) }
+func (metaCodec) Encode(key string, v any) ([]byte, error) {
+	// Serving-tier records are already bytes; everything else is JSON.
+	if b, ok := v.([]byte); ok && strings.HasPrefix(key, uploadPrefix) {
+		return b, nil
+	}
+	return json.Marshal(v)
+}
 
 func (metaCodec) Decode(key string, b []byte) (any, error) {
 	switch {
@@ -105,6 +113,10 @@ func (metaCodec) Decode(key string, b []byte) (any, error) {
 			return nil, err
 		}
 		return st, nil
+	case strings.HasPrefix(key, uploadPrefix):
+		// Serving-tier records are opaque to the store; copy because
+		// replay buffers are reused.
+		return append([]byte(nil), b...), nil
 	default:
 		return nil, fmt.Errorf("store: unknown meta key %q", key)
 	}
@@ -185,3 +197,51 @@ func (s *Store) MetaRecovered() (objects int, replayed int64) {
 // Close checkpoints and releases the metadata plane. Stop scrubbers and
 // repair managers first; the store must not be used after Close.
 func (s *Store) Close() error { return s.db.Close() }
+
+// Upload records ride in the store's metadata plane under u/<id> so a
+// serving tier (the HTTP gateway's multipart uploads) gets the same
+// ack-means-durable, survives-kill-9 story as manifests without a second
+// WAL. The bytes are opaque to the store — the owner picks the encoding
+// — and are committed durably before PutUploadRecord returns.
+
+// PutUploadRecord durably stores rec under id, replacing any previous
+// record.
+func (s *Store) PutUploadRecord(id string, rec []byte) error {
+	if err := ValidateName(id); err != nil {
+		return err
+	}
+	return s.db.Put(uploadPrefix+id, append([]byte(nil), rec...))
+}
+
+// GetUploadRecord returns the record stored under id, or ok=false.
+// The returned bytes are a private copy.
+func (s *Store) GetUploadRecord(id string) ([]byte, bool) {
+	v, ok := s.db.Get(uploadPrefix + id)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v.([]byte)...), true
+}
+
+// DeleteUploadRecord durably removes the record under id; deleting a
+// missing record is not an error.
+func (s *Store) DeleteUploadRecord(id string) error {
+	_, err := s.db.Delete(uploadPrefix + id)
+	return err
+}
+
+// UploadRecords returns every stored upload record keyed by id — the
+// recovery walk a serving tier runs after a restart. Bytes are private
+// copies.
+func (s *Store) UploadRecords() map[string][]byte {
+	out := make(map[string][]byte)
+	it := s.db.Scan(uploadPrefix)
+	for {
+		k, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		out[strings.TrimPrefix(k, uploadPrefix)] = append([]byte(nil), v.([]byte)...)
+	}
+	return out
+}

@@ -39,6 +39,49 @@ func newByteRate(bytesPerSec int64) *byteRate {
 	return &byteRate{rate: float64(bytesPerSec), burst: burst, last: time.Now()}
 }
 
+// refillLocked credits tokens for the time since the last charge. Call
+// with b.mu held.
+func (b *byteRate) refillLocked(now time.Time) {
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// admit is the non-blocking admission check: when the bucket is out of
+// debt, n bytes are charged (the bucket may go negative — the debt model
+// admits an object larger than the burst) and ok is true; when the
+// bucket is still paying off earlier debt, nothing is charged and wait
+// reports how long until it breaks even. The gateway turns a false into
+// 429 + Retry-After instead of queueing the client.
+func (b *byteRate) admit(n int64) (wait time.Duration, ok bool) {
+	if b == nil || n < 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	if b.tokens < 0 {
+		return time.Duration(-b.tokens / b.rate * float64(time.Second)), false
+	}
+	b.tokens -= float64(n)
+	return 0, true
+}
+
+// charge debits n bytes without ever sleeping — post-hoc accounting for
+// flows whose size is only known after the fact (a chunked HTTP upload).
+// The debt shows up in the next admit.
+func (b *byteRate) charge(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.refillLocked(time.Now())
+	b.tokens -= float64(n)
+	b.mu.Unlock()
+}
+
 // take charges n bytes against the bucket, sleeping off any debt. Safe
 // for concurrent use; concurrent workers share one budget.
 func (b *byteRate) take(n int64) {
@@ -46,12 +89,7 @@ func (b *byteRate) take(n int64) {
 		return
 	}
 	b.mu.Lock()
-	now := time.Now()
-	b.tokens += now.Sub(b.last).Seconds() * b.rate
-	if b.tokens > b.burst {
-		b.tokens = b.burst
-	}
-	b.last = now
+	b.refillLocked(time.Now())
 	b.tokens -= float64(n)
 	var wait time.Duration
 	if b.tokens < 0 {
@@ -61,4 +99,49 @@ func (b *byteRate) take(n int64) {
 	if wait > 0 {
 		time.Sleep(wait)
 	}
+}
+
+// Limiter is the exported face of the token bucket: the same pacing
+// machinery the background datapaths run on (byteRate), reusable as
+// foreground QoS — the gateway gives each tenant one and rejects instead
+// of queueing when the bucket is in debt. A nil *Limiter (or one built
+// with budget ≤ 0) is valid and means unlimited.
+type Limiter struct {
+	b *byteRate
+}
+
+// NewLimiter builds a byte-rate limiter for the given budget in bytes
+// per second; ≤ 0 means unlimited.
+func NewLimiter(bytesPerSec int64) *Limiter {
+	return &Limiter{b: newByteRate(bytesPerSec)}
+}
+
+// Admit is the non-blocking admission check: ok=true means n bytes were
+// charged (the bucket may run into debt — a single large object is
+// admitted whole); ok=false means the bucket is still paying off earlier
+// debt, nothing was charged, and wait estimates how long until it breaks
+// even (the Retry-After hint).
+func (l *Limiter) Admit(n int64) (wait time.Duration, ok bool) {
+	if l == nil {
+		return 0, true
+	}
+	return l.b.admit(n)
+}
+
+// Charge debits n bytes without sleeping — accounting for flows whose
+// size is only known after the fact. The debt surfaces in the next Admit.
+func (l *Limiter) Charge(n int64) {
+	if l == nil {
+		return
+	}
+	l.b.charge(n)
+}
+
+// Take charges n bytes and sleeps off any debt — the blocking discipline
+// the background datapaths use.
+func (l *Limiter) Take(n int64) {
+	if l == nil {
+		return
+	}
+	l.b.take(n)
 }

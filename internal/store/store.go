@@ -3,7 +3,6 @@ package store
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,9 +10,6 @@ import (
 
 	"repro/internal/meta"
 )
-
-// ErrObjectNotFound reports a Get/Delete of an unknown object.
-var ErrObjectNotFound = errors.New("store: object not found")
 
 // Config sizes a Store. Zero fields take defaults.
 type Config struct {
@@ -376,7 +372,7 @@ func (s *Store) reconstructInto(si *stripeInfo, stripe [][]byte, need []int, ava
 			reads, _, err := s.cfg.Codec.PlanReads(pos, avail)
 			if err != nil {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("store: block %d unrecoverable: %w", pos, err)
+					firstErr = fmt.Errorf("%w: block %d: %v", ErrUnrecoverable, pos, err)
 				}
 				continue
 			}
@@ -407,7 +403,7 @@ func (s *Store) reconstructInto(si *stripeInfo, stripe [][]byte, need []int, ava
 			payloads, lights, err = s.cfg.Codec.ReconstructMany(stripe, targets)
 		}
 		if err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = fmt.Errorf("%w: %v", ErrUnrecoverable, err)
 		}
 		for ti, pos := range targets {
 			if payloads == nil || payloads[ti] == nil {
@@ -585,8 +581,16 @@ type ObjectStat struct {
 
 // Objects lists stored objects via a metadata-plane scan.
 func (s *Store) Objects() []ObjectStat {
+	return s.ObjectsWithPrefix("")
+}
+
+// ObjectsWithPrefix lists stored objects whose names start with prefix —
+// the gateway's tenant-scoped listing ("" lists everything). Order is
+// unspecified (the plane's scan is sharded); callers that need sorted
+// output sort the result.
+func (s *Store) ObjectsWithPrefix(prefix string) []ObjectStat {
 	var out []ObjectStat
-	it := s.db.Scan(objPrefix)
+	it := s.db.Scan(objPrefix + prefix)
 	for {
 		_, v, ok := it.Next()
 		if !ok {
@@ -596,6 +600,16 @@ func (s *Store) Objects() []ObjectStat {
 		out = append(out, ObjectStat{Name: o.Name, Size: o.Size, Stripes: len(o.Stripes)})
 	}
 	return out
+}
+
+// Stat returns one object's summary, or an error wrapping ErrNotFound.
+func (s *Store) Stat(name string) (ObjectStat, error) {
+	v, ok := s.db.Get(objKey(name))
+	if !ok {
+		return ObjectStat{}, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
+	}
+	o := v.(*objectInfo)
+	return ObjectStat{Name: o.Name, Size: o.Size, Stripes: len(o.Stripes)}, nil
 }
 
 // BlocksPerNode counts manifest blocks per node — the placement balance

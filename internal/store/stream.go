@@ -51,8 +51,8 @@ type filledStripe struct {
 // reader promptly — closing an *os.File or net.Conn interrupts the read.
 // On success the reader has always exited.
 func (s *Store) PutReader(name string, r io.Reader) error {
-	if name == "" {
-		return fmt.Errorf("store: empty object name")
+	if err := ValidateName(name); err != nil {
+		return err
 	}
 	k := s.cfg.Codec.K()
 	n := s.cfg.Codec.NStored()
@@ -439,12 +439,14 @@ type fetchResult struct {
 	err    error
 }
 
-// fetchStripe reads a stripe's k data blocks — concurrently when the read
-// pool allows — into the reusable scratch slice, reconstructing whatever
-// is missing or corrupt. scratch entries are cleared first, so a recycled
-// slice never leaks a previous stripe's payloads.
-func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
-	k := s.cfg.Codec.K()
+// fetchStripe reads a stripe's data blocks at positions [pLo, pHi] —
+// concurrently when the read pool allows — into the reusable scratch
+// slice, reconstructing whatever is missing or corrupt. A full-object
+// read passes [0, k-1]; a ranged read passes just the covering window,
+// so bytes hit the backend only for blocks the range actually needs.
+// scratch entries are cleared first, so a recycled slice never leaks a
+// previous stripe's payloads.
+func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetchResult {
 	n := s.cfg.Codec.NStored()
 	for i := range scratch {
 		scratch[i] = nil
@@ -455,9 +457,10 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 		avail[pos] = s.Alive(si.Nodes[pos])
 	}
 	var missing []int
-	workers := s.readWorkers(k)
+	want := pHi - pLo + 1
+	workers := s.readWorkers(want)
 	if workers <= 1 {
-		for pos := 0; pos < k; pos++ {
+		for pos := pLo; pos <= pHi; pos++ {
 			p, err := s.readBlockPayload(si, pos, &res.acct, nil)
 			if err != nil {
 				avail[pos] = false
@@ -467,7 +470,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 			scratch[pos] = p
 		}
 	} else {
-		errs := make([]error, k)
+		errs := make([]error, n)
 		accts := make([]readAcct, workers)
 		jobs := make(chan int)
 		var wg sync.WaitGroup
@@ -480,7 +483,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 				}
 			}(w)
 		}
-		for pos := 0; pos < k; pos++ {
+		for pos := pLo; pos <= pHi; pos++ {
 			jobs <- pos
 		}
 		close(jobs)
@@ -488,7 +491,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte) fetchResult {
 		for w := range accts {
 			res.acct.add(&accts[w])
 		}
-		for pos := 0; pos < k; pos++ {
+		for pos := pLo; pos <= pHi; pos++ {
 			if errs[pos] != nil {
 				scratch[pos] = nil
 				avail[pos] = false
@@ -526,7 +529,7 @@ func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error)
 	startFetch := func(i int) chan fetchResult {
 		ch := make(chan fetchResult, 1)
 		go func() {
-			ch <- s.fetchStripe(&stripes[i], scratch[i%2])
+			ch <- s.fetchStripe(&stripes[i], scratch[i%2], 0, k-1)
 		}()
 		return ch
 	}
