@@ -23,6 +23,7 @@
 // them:
 //
 //	xorbasctl node serve -dir DIR -listen ADDR
+//	xorbasctl node ping -nodes a:7001,b:7002,...
 package main
 
 import (
@@ -95,6 +96,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl encode|verify|repair|decode [flags]")
 	fmt.Fprintln(os.Stderr, "       xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|repair-drain|stats [flags]")
 	fmt.Fprintln(os.Stderr, "       xorbasctl node serve -dir DIR -listen ADDR")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node ping -nodes ADDR,ADDR,...")
 	os.Exit(2)
 }
 

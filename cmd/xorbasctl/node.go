@@ -11,6 +11,12 @@ package main
 // The process serves until SIGINT/SIGTERM, then stops hard (in-flight
 // requests are cut, never half-acknowledged — the store's CRC frames and
 // crash-safe block writes make that safe).
+//
+// `node ping` probes every node of a cluster once and prints the
+// per-node failure-plane view — what a HealthMonitor over the same
+// addresses would see:
+//
+//	xorbasctl node ping -nodes a:7001,b:7002,...
 
 import (
 	"flag"
@@ -19,7 +25,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/netblock"
 	"repro/internal/store"
@@ -27,11 +35,72 @@ import (
 
 func nodeUsage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl node serve -dir DIR -listen ADDR")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node ping -nodes ADDR,ADDR,...")
 	os.Exit(2)
 }
 
+// nodePing dials the listed nodes, probes each a few times, and prints
+// liveness plus breaker/window state per node. Exit status 1 when any
+// node is down, so scripts can gate on it.
+func nodePing(args []string) error {
+	fs := flag.NewFlagSet("node ping", flag.ExitOnError)
+	nodesFlag := fs.String("nodes", "", "comma-separated node addresses")
+	probes := fs.Int("probes", 3, "pings per node")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-probe dial timeout")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *nodesFlag == "" {
+		return fmt.Errorf("node ping needs -nodes")
+	}
+	addrs := strings.Split(*nodesFlag, ",")
+	c, err := netblock.Dial(addrs, netblock.Options{
+		DialTimeout: *timeout,
+		Retries:     -1, // each probe is one attempt; the probe loop is the retry policy
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	down := 0
+	for i := range addrs {
+		var lastErr error
+		for p := 0; p < *probes; p++ {
+			if lastErr = c.Ping(i); lastErr == nil {
+				break
+			}
+		}
+		if lastErr != nil {
+			down++
+		}
+	}
+	for _, info := range c.NodeHealth() {
+		status := "up"
+		if info.WindowErrRate > 0 || info.State != "closed" {
+			status = "down"
+		}
+		fmt.Printf("node %2d  %-22s %-4s breaker=%-9s ops=%d errRate=%.2f consecFails=%d p50=%s p99=%s",
+			info.Node, addrs[info.Node], status, info.State,
+			info.WindowOps, info.WindowErrRate, info.ConsecFails, info.P50, info.P99)
+		if info.LastErr != "" {
+			fmt.Printf("  lastErr=%q", info.LastErr)
+		}
+		fmt.Println()
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d nodes down", down, len(addrs))
+	}
+	return nil
+}
+
 func nodeMain(args []string) error {
-	if len(args) == 0 || args[0] != "serve" {
+	if len(args) == 0 {
+		nodeUsage()
+	}
+	if args[0] == "ping" {
+		return nodePing(args[1:])
+	}
+	if args[0] != "serve" {
 		nodeUsage()
 	}
 	fs := flag.NewFlagSet("node serve", flag.ExitOnError)

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/gateway"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,6 +45,10 @@ func run(argv []string) error {
 	inflight := fs.Int64("tenant-inflight", 0, "per-tenant concurrent request cap; over cap = 429 (0 = unlimited)")
 	repairRate := fs.Int64("repair-rate", 0, "repair read budget, bytes/sec (0 = unlimited)")
 	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget, bytes/sec (0 = unlimited)")
+	scrubEvery := fs.Duration("scrub-interval", 0, "background integrity-walk period (0 = no background scrub)")
+	healthEvery := fs.Duration("health-interval", 0, "node health probe period; probing backends get auto dead/alive + auto-repair (0 = off)")
+	failK := fs.Int("health-fail-threshold", 3, "consecutive missed probes that confirm a node death")
+	reviveK := fs.Int("health-revive-threshold", 2, "consecutive answered probes that confirm a revival")
 	tokens := map[string]string{}
 	fs.Func("token", "tenant=secret bearer token, repeatable; tenants without one are open", func(v string) error {
 		tenant, secret, ok := strings.Cut(v, "=")
@@ -73,6 +78,28 @@ func run(argv []string) error {
 		if s, err = sf.OpenRates(*repairRate, *scrubRate); err != nil {
 			return err
 		}
+	}
+
+	// The self-healing plane: repair workers drain whatever scrubs (or
+	// the monitor) enqueue; the monitor turns backend probes into
+	// liveness flips and repair work. All optional — a store without
+	// -health-interval behaves exactly as before, operator-driven.
+	rm := store.NewRepairManager(s, 0)
+	rm.Start()
+	defer rm.Stop()
+	sc := store.NewScrubber(s, rm, *scrubEvery)
+	if *scrubEvery > 0 {
+		sc.Start()
+		defer sc.Stop()
+	}
+	if *healthEvery > 0 {
+		mon := store.NewHealthMonitor(s, rm, sc, store.MonitorConfig{
+			Interval:        *healthEvery,
+			FailThreshold:   *failK,
+			ReviveThreshold: *reviveK,
+		})
+		mon.Start()
+		defer mon.Stop()
 	}
 
 	g, err := gateway.New(gateway.Config{

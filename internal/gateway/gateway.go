@@ -115,8 +115,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, g.Metrics())
 		return
 	case "/healthz":
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
+		g.handleHealthz(w)
 		return
 	}
 	rest, ok := strings.CutPrefix(r.URL.Path, "/t/")
@@ -273,7 +272,81 @@ func (g *Gateway) writeError(w http.ResponseWriter, err error) {
 	default:
 		code = http.StatusInternalServerError
 	}
+	if code == http.StatusServiceUnavailable {
+		// Unrecoverable reads and closed planes are transient from the
+		// client's seat — repair or a restart may fix them — so tell
+		// clients when to come back instead of letting them hammer.
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(degradedRetryAfter/time.Second), 10))
+	}
 	http.Error(w, err.Error(), code)
+}
+
+// degradedRetryAfter is the Retry-After hint on 503s: long enough for a
+// repair round or a monitor revival to land, short enough that clients
+// notice recovery quickly.
+const degradedRetryAfter = 5 * time.Second
+
+// shedWrite answers 503 + Retry-After when the store has too few live
+// nodes to place a full stripe — reads keep serving degraded, but a
+// write would fail mid-stripe and leave garbage to roll back, so the
+// gateway refuses it up front. Reports whether the request was shed.
+func (g *Gateway) shedWrite(w http.ResponseWriter) bool {
+	if !g.st.WriteDegraded() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(degradedRetryAfter/time.Second), 10))
+	http.Error(w, "write degraded: too few live nodes for a full stripe", http.StatusServiceUnavailable)
+	return true
+}
+
+// healthNode is one node's row in the /healthz report.
+type healthNode struct {
+	Node        int     `json:"node"`
+	Alive       bool    `json:"alive"`
+	Breaker     string  `json:"breaker"`
+	ConsecFails int     `json:"consec_fails,omitempty"`
+	Opens       int64   `json:"opens,omitempty"`
+	WindowOps   int     `json:"window_ops,omitempty"`
+	ErrRate     float64 `json:"err_rate,omitempty"`
+	P50Ms       float64 `json:"p50_ms,omitempty"`
+	P99Ms       float64 `json:"p99_ms,omitempty"`
+	LastErr     string  `json:"last_err,omitempty"`
+}
+
+// healthReport is the /healthz body: overall status plus the per-node
+// failure-plane view (liveness as the store records it, breaker state
+// as the backend sees it).
+type healthReport struct {
+	Status    string       `json:"status"`
+	LiveNodes int          `json:"live_nodes"`
+	Nodes     []healthNode `json:"nodes"`
+}
+
+// handleHealthz always answers 200 — a gateway that can report health
+// is up; degradation is in the body, not the status code, so probes
+// distinguish "down" from "degraded but serving reads".
+func (g *Gateway) handleHealthz(w http.ResponseWriter) {
+	rep := healthReport{Status: "ok", LiveNodes: g.st.LiveNodes()}
+	for _, info := range g.st.NodeHealth() {
+		rep.Nodes = append(rep.Nodes, healthNode{
+			Node:        info.Node,
+			Alive:       info.Alive,
+			Breaker:     info.State,
+			ConsecFails: info.ConsecFails,
+			Opens:       info.Opens,
+			WindowOps:   info.WindowOps,
+			ErrRate:     info.WindowErrRate,
+			P50Ms:       float64(info.P50.Microseconds()) / 1e3,
+			P99Ms:       float64(info.P99.Microseconds()) / 1e3,
+			LastErr:     info.LastErr,
+		})
+	}
+	if g.st.WriteDegraded() {
+		rep.Status = "degraded-readonly"
+	} else if rep.LiveNodes < g.st.Nodes() {
+		rep.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -316,6 +389,9 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // chunked body is admitted at zero and charged after the fact, so the
 // debt lands on the tenant's next request.
 func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request, t *tenant, name string) {
+	if g.shedWrite(w) {
+		return
+	}
 	declared := r.ContentLength
 	if declared < 0 {
 		declared = 0

@@ -228,7 +228,84 @@ func TestErrorMapping(t *testing.T) {
 		if rec.Code != c.want {
 			t.Fatalf("writeError(%v) = %d, want %d", c.err, rec.Code, c.want)
 		}
+		// Every 503 is transient from the client's seat: it must carry a
+		// Retry-After hint; nothing else may.
+		if got := rec.Header().Get("Retry-After"); (c.want == 503) != (got != "") {
+			t.Fatalf("writeError(%v) = %d with Retry-After %q", c.err, rec.Code, got)
+		}
 	}
+}
+
+// TestWriteDegradedSheds kills nodes below the stripe width and checks
+// writes answer 503 + Retry-After while reads keep serving — then that
+// revival reopens writes.
+func TestWriteDegradedSheds(t *testing.T) {
+	s, err := store.New(store.Config{BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	_, srv := newTestGateway(t, Config{Store: s})
+	obj := testBytes(7, 400)
+	resp, body := do(t, "PUT", srv.URL+"/t/acme/k", obj)
+	wantStatus(t, resp, body, 200)
+
+	// 20 nodes, LRC needs 16 live: kill 5.
+	for i := 0; i < 5; i++ {
+		s.KillNode(i)
+	}
+	resp, body = do(t, "PUT", srv.URL+"/t/acme/k2", obj)
+	wantStatus(t, resp, body, 503)
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded write 503 without Retry-After")
+	}
+	// Multipart writes shed too.
+	resp, body = do(t, "POST", srv.URL+"/t/acme/k3?uploads", nil)
+	wantStatus(t, resp, body, 200) // beginning an upload is metadata-only
+	var begin struct {
+		UploadID string `json:"uploadId"`
+	}
+	if err := json.Unmarshal(body, &begin); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = do(t, "PUT", srv.URL+"/t/acme/k3?uploadId="+begin.UploadID+"&partNumber=1", obj)
+	wantStatus(t, resp, body, 503)
+
+	// Reads keep serving (degraded) the whole time.
+	resp, body = do(t, "GET", srv.URL+"/t/acme/k", nil)
+	wantStatus(t, resp, body, 200)
+	if !bytes.Equal(body, obj) {
+		t.Fatal("degraded read returned wrong bytes")
+	}
+
+	// /healthz reports the readonly state without failing the probe.
+	resp, body = do(t, "GET", srv.URL+"/healthz", nil)
+	wantStatus(t, resp, body, 200)
+	var rep struct {
+		Status    string `json:"status"`
+		LiveNodes int    `json:"live_nodes"`
+		Nodes     []struct {
+			Node    int    `json:"node"`
+			Alive   bool   `json:"alive"`
+			Breaker string `json:"breaker"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "degraded-readonly" || rep.LiveNodes != 15 || len(rep.Nodes) != 20 {
+		t.Fatalf("healthz = %+v", rep)
+	}
+	if rep.Nodes[0].Alive || !rep.Nodes[19].Alive {
+		t.Fatalf("healthz liveness wrong: %+v", rep.Nodes)
+	}
+
+	// Revival reopens writes.
+	for i := 0; i < 5; i++ {
+		s.ReviveNode(i)
+	}
+	resp, body = do(t, "PUT", srv.URL+"/t/acme/k2", obj)
+	wantStatus(t, resp, body, 200)
 }
 
 func TestTenantIsolation(t *testing.T) {

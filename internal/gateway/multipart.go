@@ -104,6 +104,9 @@ func (g *Gateway) beginUpload(w http.ResponseWriter, tenant, key string) {
 // declared length is admitted before any byte moves, a chunked body is
 // charged after the fact.
 func (g *Gateway) putPart(w http.ResponseWriter, r *http.Request, t *tenant, id, tenant_, key, partStr string) {
+	if g.shedWrite(w) {
+		return
+	}
 	if _, err := g.getUpload(id, tenant_, key); err != nil {
 		g.writeError(w, err)
 		return
@@ -179,6 +182,9 @@ func (g *Gateway) listParts(w http.ResponseWriter, id, tenant, key string) {
 // memory, and the final object commits atomically — a crash mid-
 // complete leaves the upload intact and resumable, never a torn object.
 func (g *Gateway) completeUpload(w http.ResponseWriter, t *tenant, id, tenant_, key string) {
+	if g.shedWrite(w) {
+		return
+	}
 	if _, err := g.getUpload(id, tenant_, key); err != nil {
 		g.writeError(w, err)
 		return

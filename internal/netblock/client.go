@@ -33,6 +33,30 @@ type Options struct {
 	// store's read pool fans out to 4 workers, but those spread over k
 	// distinct nodes under rack-aware placement).
 	PoolSize int
+	// RetryBackoff is the base sleep between retry attempts on one
+	// operation (default 5ms), doubling per attempt with jitter so a
+	// down node is never hammered back-to-back. Negative disables the
+	// sleep entirely (tests that want deterministic timing).
+	RetryBackoff time.Duration
+	// RetryBudget caps one operation's total retry wall-time — dials,
+	// round trips and backoff sleeps together (default 15s). When the
+	// budget runs out the operation fails with whatever error the last
+	// attempt produced, even if attempts remain.
+	RetryBudget time.Duration
+	// BreakerThreshold is how many consecutive transport failures open a
+	// node's circuit breaker (default 5; negative disables the breaker).
+	// With the breaker open, operations on the node fail fast with
+	// ErrBreakerOpen instead of burning a dial timeout each; after a
+	// jittered exponential cooldown one operation is admitted as the
+	// half-open probe (a protocol ping) and its outcome closes or
+	// re-opens the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's base open duration (default
+	// 250ms), doubling on every consecutive re-open up to
+	// BreakerMaxCooldown (default 15s). Both are jittered.
+	BreakerCooldown time.Duration
+	// BreakerMaxCooldown caps the exponential cooldown growth.
+	BreakerMaxCooldown time.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -50,6 +74,23 @@ func (o *Options) fillDefaults() {
 	if o.PoolSize <= 0 {
 		o.PoolSize = 2
 	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 15 * time.Second
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	} else if o.BreakerThreshold < 0 {
+		o.BreakerThreshold = -1
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
+	}
+	if o.BreakerMaxCooldown <= 0 {
+		o.BreakerMaxCooldown = 15 * time.Second
+	}
 }
 
 // clientNode is one remote node: its address, idle-connection pool and
@@ -60,6 +101,8 @@ type clientNode struct {
 	idle []net.Conn
 
 	sent, recv atomic.Int64
+
+	health *nodeHealth
 }
 
 // Client implements store.Backend across N remote block servers: node i
@@ -93,7 +136,10 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 		if a == "" {
 			return nil, fmt.Errorf("netblock: empty address for node %d", i)
 		}
-		c.nodes[i] = &clientNode{addr: a}
+		c.nodes[i] = &clientNode{
+			addr:   a,
+			health: newNodeHealth(opts.BreakerThreshold, opts.BreakerCooldown, opts.BreakerMaxCooldown),
+		}
 	}
 	return c, nil
 }
@@ -117,6 +163,9 @@ func (c *Client) SetNode(node int, addr string) error {
 	for _, conn := range idle {
 		conn.Close()
 	}
+	// The old process's failures say nothing about the new one: start it
+	// with a clean window and a closed breaker.
+	n.health.reset()
 	return nil
 }
 
@@ -191,13 +240,15 @@ func (c *Client) putConn(n *clientNode, conn net.Conn, addr string) {
 }
 
 // do runs one request against a node with bounded retries. Transport
-// errors burn the connection and retry; status-level replies are final.
-// Failures on pooled connections are free — a node that restarted since
-// the pool filled leaves up to PoolSize dead sockets behind, and
-// charging those against the retry budget could declare a healthy node
-// unreachable before a single fresh dial — only freshly dialed attempts
-// count. The returned payload is the response body (block bytes for
-// reads).
+// errors burn the connection and retry after a jittered exponential
+// backoff; status-level replies are final. Failures on pooled
+// connections are free — a node that restarted since the pool filled
+// leaves up to PoolSize dead sockets behind, and charging those against
+// the retry budget could declare a healthy node unreachable before a
+// single fresh dial — only freshly dialed attempts count against the
+// retry count, the health window and the breaker. Options.RetryBudget
+// caps the operation's total wall-time across attempts and sleeps. The
+// returned payload is the response body (block bytes for reads).
 func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) {
 	n, err := c.node(node)
 	if err != nil {
@@ -210,23 +261,50 @@ func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) 
 	if len(key) > maxKeyLen {
 		return nil, fmt.Errorf("netblock: key length %d exceeds limit %d", len(key), maxKeyLen)
 	}
+	probe, err := n.health.allow()
+	if err != nil {
+		return nil, fmt.Errorf("netblock: node %d: %w", node, err)
+	}
+	if probe && op != opPing {
+		// Half-open: prove the node answers a ping on a fresh connection
+		// before committing the real (possibly payload-heavy) operation.
+		// The ping's outcome drives the breaker; a success also clears
+		// the probing latch so the real op below runs against a closed
+		// breaker.
+		if err := c.attempt(n, node, opPing, "", nil); err != nil {
+			return nil, fmt.Errorf("netblock: node %d failed half-open probe: %w", node, err)
+		}
+	}
+	deadline := time.Now().Add(c.opts.RetryBudget)
+	backoff := c.opts.RetryBackoff
 	var lastErr error
-	for attempt := 0; attempt <= c.opts.Retries; {
+	attempt := 0
+	for attempt <= c.opts.Retries {
 		conn, addr, pooled, err := c.getConn(n)
 		if err != nil {
+			n.health.record(false, 0, err)
 			lastErr = err
 			attempt++
+			if !c.backoff(&backoff, attempt, deadline) {
+				break
+			}
 			continue
 		}
+		start := time.Now()
 		status, body, err := c.roundTrip(n, conn, op, node, key, data)
 		if err != nil {
 			conn.Close()
 			lastErr = err
 			if !pooled {
+				n.health.record(false, time.Since(start), err)
 				attempt++
+				if !c.backoff(&backoff, attempt, deadline) {
+					break
+				}
 			}
 			continue
 		}
+		n.health.record(true, time.Since(start), nil)
 		c.putConn(n, conn, addr)
 		switch status {
 		case statusOK:
@@ -240,7 +318,54 @@ func (c *Client) do(node int, op byte, key string, data []byte) ([]byte, error) 
 		}
 	}
 	return nil, fmt.Errorf("netblock: node %d (%s) unreachable after %d attempts: %w",
-		node, n.addrSnapshot(), c.opts.Retries+1, lastErr)
+		node, n.addrSnapshot(), attempt, lastErr)
+}
+
+// attempt runs one non-retrying operation on a fresh connection,
+// recording the outcome in the node's health window. It is the
+// half-open probe path: pooled connections are skipped because a stale
+// pooled socket failing must not re-open the breaker the probe is
+// trying to close.
+func (c *Client) attempt(n *clientNode, node int, op byte, key string, data []byte) error {
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", n.addrSnapshot(), c.opts.DialTimeout)
+	if err != nil {
+		n.health.record(false, time.Since(start), err)
+		return err
+	}
+	status, body, err := c.roundTrip(n, conn, op, node, key, data)
+	if err != nil {
+		conn.Close()
+		n.health.record(false, time.Since(start), err)
+		return err
+	}
+	n.health.record(true, time.Since(start), nil)
+	c.putConn(n, conn, n.addrSnapshot())
+	if status != statusOK {
+		return fmt.Errorf("netblock: node %d: remote error: %s", node, body)
+	}
+	return nil
+}
+
+// backoff sleeps the jittered current backoff (doubling it for next
+// time) before another attempt. It returns false when no attempts
+// remain worth sleeping for: the retry budget deadline has passed or
+// would pass mid-sleep. A negative RetryBackoff skips sleeping but
+// still honors the deadline.
+func (c *Client) backoff(cur *time.Duration, attempt int, deadline time.Time) bool {
+	if attempt > c.opts.Retries {
+		return false // last attempt burned; no sleep before reporting failure
+	}
+	if c.opts.RetryBackoff < 0 {
+		return time.Now().Before(deadline)
+	}
+	d := jitter(*cur)
+	*cur *= 2
+	if time.Now().Add(d).After(deadline) {
+		return false
+	}
+	time.Sleep(d)
+	return true
 }
 
 func (n *clientNode) addrSnapshot() string {
@@ -319,8 +444,28 @@ func (c *Client) Delete(node int, key string) error {
 	return err
 }
 
-// Ping checks liveness of one node over a pooled connection.
+// Ping checks liveness of one node over a pooled connection. Ping goes
+// through the same breaker gate as every other operation: with the
+// breaker open it fails fast, and once the cooldown elapses the ping
+// itself is the half-open probe — so a HealthMonitor polling CheckNode
+// is exactly the probe driver the breaker wants.
 func (c *Client) Ping(node int) error {
 	_, err := c.do(node, opPing, "", nil)
 	return err
+}
+
+// CheckNode implements store.HealthChecker: one breaker-aware liveness
+// probe. An open breaker failing fast is the correct monitor signal —
+// the node has already proven itself down this cooldown window.
+func (c *Client) CheckNode(node int) error { return c.Ping(node) }
+
+// NodeHealth implements store.HealthStats: a snapshot of every node's
+// breaker state and windowed error/latency accounting.
+func (c *Client) NodeHealth() []store.NodeHealthInfo {
+	out := make([]store.NodeHealthInfo, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.health.snapshot()
+		out[i].Node = i
+	}
+	return out
 }

@@ -74,6 +74,11 @@ type counters struct {
 	repairedBytes    atomic.Int64
 	repairsLight     atomic.Int64
 	repairsHeavy     atomic.Int64
+
+	hedgeFires   atomic.Int64
+	hedgeWins    atomic.Int64
+	autoDeaths   atomic.Int64
+	autoRevivals atomic.Int64
 }
 
 func (c *counters) mergeRead(a *readAcct) {
@@ -120,6 +125,14 @@ type Metrics struct {
 	// BlockFixer — the numerator of repair throughput (MB/s repaired).
 	RepairedBytes              int64
 	RepairsLight, RepairsHeavy int64
+	// Failure plane: hedged stripe reads fired (the straggler deadline
+	// hit) and won (reconstruction beat the straggler), liveness flips
+	// made by the HealthMonitor without an operator, and circuit-breaker
+	// open transitions summed over nodes (present when the backend
+	// implements HealthStats).
+	HedgeFires, HedgeWins    int64
+	AutoDeaths, AutoRevivals int64
+	BreakerOpens             int64
 	// Wire totals, present when the backend implements WireStats (the
 	// TCP netblock client): cumulative protocol bytes sent to and
 	// received from all nodes. These count what actually crossed the
@@ -156,6 +169,12 @@ func (s *Store) Metrics() Metrics {
 			wireRecv += recv[i]
 		}
 	}
+	var breakerOpens int64
+	if hs, ok := s.cfg.Backend.(HealthStats); ok {
+		for _, info := range hs.NodeHealth() {
+			breakerOpens += info.Opens
+		}
+	}
 	return Metrics{
 		PutBlocks:          s.m.putBlocks.Load(),
 		PutBytes:           s.m.putBytes.Load(),
@@ -175,6 +194,11 @@ func (s *Store) Metrics() Metrics {
 		RepairedBytes:      s.m.repairedBytes.Load(),
 		RepairsLight:       s.m.repairsLight.Load(),
 		RepairsHeavy:       s.m.repairsHeavy.Load(),
+		HedgeFires:         s.m.hedgeFires.Load(),
+		HedgeWins:          s.m.hedgeWins.Load(),
+		AutoDeaths:         s.m.autoDeaths.Load(),
+		AutoRevivals:       s.m.autoRevivals.Load(),
+		BreakerOpens:       breakerOpens,
 		WireSentBytes:      wireSent,
 		WireRecvBytes:      wireRecv,
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/meta"
 )
@@ -58,6 +59,19 @@ type Config struct {
 	MetaDir string
 	// MetaShards is the metadata plane's index shard count (default 16).
 	MetaShards int
+	// HedgeQuantile enables hedged stripe reads: when one block fetch of
+	// a stripe sits past this quantile of recent block-read latency, the
+	// degraded-path reconstruction race fires instead of waiting on the
+	// straggler (Dean & Barroso's hedged requests, with erasure decode
+	// as the backup request). Must be in (0, 1); 0 disables hedging.
+	// With one slow node in the cluster, ~k/nodes of stripes touch it,
+	// so a quantile below that pollution rate (0.9 with defaults) keeps
+	// the trigger armed.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge trigger delay (default 2ms when
+	// hedging is enabled) so a cold latency histogram or an all-memory
+	// backend never fires hedges on microsecond jitter.
+	HedgeMinDelay time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -79,6 +93,9 @@ func (c *Config) fillDefaults() {
 	if c.ParallelThreshold == 0 {
 		c.ParallelThreshold = 1 << 20
 	}
+	if c.HedgeQuantile > 0 && c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = 2 * time.Millisecond
+	}
 }
 
 func (c *Config) validate() error {
@@ -90,6 +107,11 @@ func (c *Config) validate() error {
 	}
 	if c.BlockSize < 1 {
 		return fmt.Errorf("store: block size must be positive, got %d", c.BlockSize)
+	}
+	if c.HedgeQuantile < 0 || c.HedgeQuantile >= 1 {
+		if c.HedgeQuantile != 0 {
+			return fmt.Errorf("store: hedge quantile must be in (0,1), got %g", c.HedgeQuantile)
+		}
 	}
 	return nil
 }
@@ -163,6 +185,10 @@ type Store struct {
 	// unlimited). Foreground reads never touch them.
 	repairLim *byteRate
 	scrubLim  *byteRate
+
+	// readLat is the block-read latency histogram feeding the hedge
+	// trigger's quantile.
+	readLat blockLatHist
 
 	m counters
 }
@@ -317,10 +343,12 @@ func (s *Store) readBlockPayload(si *stripeInfo, pos int, acct *readAcct, lim *b
 	if !s.Alive(node) {
 		return nil, fmt.Errorf("store: node %d is dead", node)
 	}
+	start := time.Now()
 	raw, err := s.cfg.Backend.Read(node, si.Keys[pos])
 	if err != nil {
 		return nil, err
 	}
+	s.readLat.observe(time.Since(start))
 	acct.blocks++
 	acct.bytes += int64(len(raw))
 	lim.take(int64(len(raw)))

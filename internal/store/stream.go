@@ -447,6 +447,9 @@ type fetchResult struct {
 // scratch entries are cleared first, so a recycled slice never leaks a
 // previous stripe's payloads.
 func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetchResult {
+	if d := s.hedgeDelay(); d > 0 {
+		return s.fetchStripeHedged(si, scratch, pLo, pHi, d)
+	}
 	n := s.cfg.Codec.NStored()
 	for i := range scratch {
 		scratch[i] = nil
