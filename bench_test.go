@@ -867,6 +867,72 @@ func BenchmarkStoreNetRepair(b *testing.B) {
 	}
 }
 
+// BenchmarkRebalance measures elastic membership's worst-case topology
+// change: a node dies unannounced and is then decommissioned, so its
+// whole drain runs as scheduled repair (§1.1) — every block rebuilt
+// from stripe survivors, the path where the codec's repair locality
+// decides the bill. After each drain a fresh node joins and the
+// rebalancer fills it back to the mean, keeping the active set at full
+// strength across iterations. MB/s is payload drained per second;
+// read-blocks/moved shows the LRC rebuilding from its 5-block groups
+// where RS(10,4) reads 10.
+func BenchmarkRebalance(b *testing.B) {
+	const size = 16 << 20
+	for _, sc := range storeCodecs {
+		b.Run(sc.name, func(b *testing.B) {
+			s, err := store.New(store.Config{Codec: sc.codec(), BlockSize: 1 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if err := s.PutReader(fmt.Sprintf("bench%d", i), pattern.NewReader(size)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rm := store.NewRepairManager(s, 2)
+			rm.Start()
+			defer rm.Stop()
+			rb := store.NewRebalancer(s, rm, 0)
+			victim := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.KillNode(victim)
+				if err := s.Decommission(victim); err != nil {
+					b.Fatal(err)
+				}
+				rb.RebalanceOnce() // enqueue the dead drain
+				rm.Drain()
+				rb.RebalanceOnce() // retire the emptied drainer
+				joiner, err := s.AddNode("")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rb.RebalanceOnce() // fill the joiner back to the mean
+				if st := s.MemberState(victim); st != store.NodeDead {
+					b.Fatalf("drain %d did not complete: %s", i, st)
+				}
+				victim = joiner
+			}
+			b.StopTimer()
+			m := s.Metrics()
+			moved := m.RebalancedBlocks + m.RepairedBlocks
+			if moved == 0 {
+				b.Fatal("rebalance moved no blocks")
+			}
+			movedBytes := m.RebalancedBytes + m.RepairedBytes
+			b.SetBytes(movedBytes / int64(b.N))
+			b.ReportMetric(float64(movedBytes)/1e6/b.Elapsed().Seconds(), "MB/s")
+			// The dead drain is where codecs diverge: blocks read per
+			// block rebuilt (joiner fills are plain copies, 1:1, and are
+			// excluded so the decode bill stays visible).
+			if m.RepairedBlocks > 0 {
+				b.ReportMetric(float64(m.RepairBlocksRead)/float64(m.RepairedBlocks), "read-blocks/drained")
+			}
+			b.ReportMetric(float64(moved)/float64(b.N), "blocks-moved/op")
+		})
+	}
+}
+
 // BenchmarkEncodeThroughput measures payload encode rates of the three
 // schemes' codecs on 64 MB-per-block-scale stripes (scaled down to keep
 // the bench quick; rates are size-independent beyond cache effects).

@@ -97,6 +97,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       xorbasctl store put|get|kill-node|revive-node|corrupt|scrub|repair-drain|stats [flags]")
 	fmt.Fprintln(os.Stderr, "       xorbasctl node serve -dir DIR -listen ADDR")
 	fmt.Fprintln(os.Stderr, "       xorbasctl node ping -nodes ADDR,ADDR,...")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node add|decommission|status|rebalance [flags]")
 	os.Exit(2)
 }
 

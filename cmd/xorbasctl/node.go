@@ -17,6 +17,23 @@ package main
 // addresses would see:
 //
 //	xorbasctl node ping -nodes a:7001,b:7002,...
+//
+// The membership subcommands drive elastic cluster changes against a
+// store directory (same -dir/-backend/-meta flags as `store`):
+//
+//	xorbasctl node add          -dir DIR [-addr HOST:PORT]
+//	xorbasctl node decommission -dir DIR -node N
+//	xorbasctl node status       -dir DIR
+//	xorbasctl node rebalance    -dir DIR [-workers W] [-rebalance-rate B] [-repair-rate B]
+//
+// add registers one new node (joining until a rebalance pass fills it;
+// -addr is required for the net backend, recorded in the membership
+// plane so later opens re-register it); decommission marks a node
+// draining — its blocks migrate off on the next rebalance (or are
+// rebuilt by repair when the node is already dead), and only when zero
+// manifest blocks reference it does it retire to dead. rebalance runs
+// synchronous passes until the drain/fill converges, the operator-driven
+// counterpart of xorbasd's -rebalance-interval loop.
 
 import (
 	"flag"
@@ -29,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/netblock"
 	"repro/internal/store"
 )
@@ -36,6 +54,10 @@ import (
 func nodeUsage() {
 	fmt.Fprintln(os.Stderr, "usage: xorbasctl node serve -dir DIR -listen ADDR")
 	fmt.Fprintln(os.Stderr, "       xorbasctl node ping -nodes ADDR,ADDR,...")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node add -dir DIR [-addr HOST:PORT]")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node decommission -dir DIR -node N")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node status -dir DIR")
+	fmt.Fprintln(os.Stderr, "       xorbasctl node rebalance -dir DIR [-workers W] [-rebalance-rate B] [-repair-rate B]")
 	os.Exit(2)
 }
 
@@ -93,12 +115,163 @@ func nodePing(args []string) error {
 	return nil
 }
 
+// nodeAdd grows the cluster by one member: the store assigns the next
+// id, persists the record (joining, addr) in the metadata plane, and a
+// NodeAdder backend (netblock) registers the address for the datapath.
+func nodeAdd(args []string) error {
+	fs := flag.NewFlagSet("node add", flag.ExitOnError)
+	sf := cliutil.RegisterStoreFlags(fs)
+	addr := fs.String("addr", "", "new node's host:port (net backend; dir backend needs none)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	s, err := sf.Open()
+	if err != nil {
+		return err
+	}
+	id, err := s.AddNode(*addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	fmt.Printf("node %d added (joining, epoch %d); run `node rebalance` or let xorbasd's -rebalance-interval fill it\n", id, s.Epoch())
+	return cliutil.SaveStore(*sf.Dir, s)
+}
+
+// nodeDecommission marks a node draining; its retirement to dead is the
+// rebalancer's call, made only once nothing references it.
+func nodeDecommission(args []string) error {
+	fs := flag.NewFlagSet("node decommission", flag.ExitOnError)
+	sf := cliutil.RegisterStoreFlags(fs)
+	node := fs.Int("node", -1, "node id to drain")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *node < 0 {
+		return fmt.Errorf("node decommission needs -node")
+	}
+	s, err := sf.Open()
+	if err != nil {
+		return err
+	}
+	if err := s.Decommission(*node); err != nil {
+		s.Close()
+		return err
+	}
+	ms := s.MembershipStatus()
+	fmt.Printf("node %d draining (epoch %d): %d blocks to move; run `node rebalance` to drain now\n",
+		*node, s.Epoch(), ms.DrainingBlocks)
+	return cliutil.SaveStore(*sf.Dir, s)
+}
+
+// nodeStatus prints the membership table and drain/fill progress.
+func nodeStatus(args []string) error {
+	fs := flag.NewFlagSet("node status", flag.ExitOnError)
+	sf := cliutil.RegisterStoreFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	s, err := sf.Open()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	ms := s.MembershipStatus()
+	fmt.Printf("epoch %d: %d active / %d joining / %d draining / %d dead\n",
+		ms.Epoch, ms.Active, ms.Joining, ms.Draining, ms.Dead)
+	if ms.Draining > 0 {
+		fmt.Printf("drain backlog: %d blocks\n", ms.DrainingBlocks)
+	}
+	if ms.RebalancedBlocks > 0 {
+		fmt.Printf("migrated so far: %d blocks / %d bytes\n", ms.RebalancedBlocks, ms.RebalancedBytes)
+	}
+	counts := s.BlocksPerNode()
+	for _, m := range s.Members() {
+		live := "up"
+		if !m.Alive {
+			live = "down"
+		}
+		blocks := 0
+		if m.Node < len(counts) {
+			blocks = counts[m.Node]
+		}
+		addr := m.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Printf("node %2d  %-22s %-8s %-4s blocks=%d epoch=%d\n",
+			m.Node, addr, string(m.State), live, blocks, m.Epoch)
+	}
+	return nil
+}
+
+// nodeRebalance runs synchronous rebalance passes until the topology
+// converges: drains emptied (live moves or dead-node repairs), joiners
+// filled, promotions made.
+func nodeRebalance(args []string) error {
+	fs := flag.NewFlagSet("node rebalance", flag.ExitOnError)
+	sf := cliutil.RegisterStoreFlags(fs)
+	workers := fs.Int("workers", 2, "repair worker pool size (dead-drainer rebuilds)")
+	rebalRate := fs.Int64("rebalance-rate", 0, "migration read budget in bytes/sec, 0 = unlimited")
+	repairRate := fs.Int64("repair-rate", 0, "repair read budget in bytes/sec, 0 = unlimited")
+	passes := fs.Int("max-passes", 10, "pass limit before giving up on convergence")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	s, err := sf.OpenRates(cliutil.Rates{Repair: *repairRate, Rebalance: *rebalRate})
+	if err != nil {
+		return err
+	}
+	rm := store.NewRepairManager(s, *workers)
+	rm.Start()
+	rb := store.NewRebalancer(s, rm, 0)
+	start := time.Now()
+	var total store.RebalanceReport
+	converged := false
+	for p := 0; p < *passes; p++ {
+		rep := rb.RebalanceOnce()
+		rm.Drain()
+		total.Stripes += rep.Stripes
+		total.Moved += rep.Moved
+		total.MovedBytes += rep.MovedBytes
+		total.Enqueued += rep.Enqueued
+		total.Promoted += rep.Promoted
+		if rep.Remaining == 0 && rep.Enqueued == 0 {
+			converged = true
+			break
+		}
+	}
+	rm.Stop()
+	elapsed := time.Since(start)
+	m := s.Metrics()
+	fmt.Printf("rebalance: %d blocks / %d bytes migrated, %d stripes repaired via queue, %d promotions, in %v (%s)\n",
+		total.Moved, total.MovedBytes, total.Enqueued, total.Promoted,
+		elapsed.Round(time.Millisecond), cliutil.Mbps(total.MovedBytes, elapsed))
+	fmt.Printf("reads: rebalance %d blocks / %d bytes, repair %d blocks / %d bytes (%d light / %d heavy)\n",
+		m.RebalanceBlocksRead, m.RebalanceBytesRead,
+		m.RepairBlocksRead, m.RepairBytesRead, m.RepairsLight, m.RepairsHeavy)
+	fmt.Print(cliutil.WireLine(m))
+	if !converged {
+		fmt.Println("warning: topology not converged; rerun (dead drainers need live survivors to rebuild from)")
+	}
+	return cliutil.SaveStore(*sf.Dir, s)
+}
+
 func nodeMain(args []string) error {
 	if len(args) == 0 {
 		nodeUsage()
 	}
-	if args[0] == "ping" {
+	switch args[0] {
+	case "ping":
 		return nodePing(args[1:])
+	case "add":
+		return nodeAdd(args[1:])
+	case "decommission":
+		return nodeDecommission(args[1:])
+	case "status":
+		return nodeStatus(args[1:])
+	case "rebalance":
+		return nodeRebalance(args[1:])
 	}
 	if args[0] != "serve" {
 		nodeUsage()

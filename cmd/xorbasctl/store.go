@@ -312,7 +312,7 @@ func storeCorrupt(sf *cliutil.StoreFlags, name string, stripe, pos int, silent b
 }
 
 func storeScrub(sf *cliutil.StoreFlags, workers int, scrubRate, repairRate int64) error {
-	s, err := sf.OpenRates(repairRate, scrubRate)
+	s, err := sf.OpenRates(cliutil.Rates{Repair: repairRate, Scrub: scrubRate})
 	if err != nil {
 		return err
 	}
@@ -340,7 +340,7 @@ func storeScrub(sf *cliutil.StoreFlags, workers int, scrubRate, repairRate int64
 // pool drains it. The per-invocation barrier a kill-node workflow needs,
 // without paying for a full integrity walk.
 func storeRepairDrain(sf *cliutil.StoreFlags, workers int, repairRate int64) error {
-	s, err := sf.OpenRates(repairRate, 0)
+	s, err := sf.OpenRates(cliutil.Rates{Repair: repairRate})
 	if err != nil {
 		return err
 	}

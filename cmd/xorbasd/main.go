@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -45,7 +46,9 @@ func run(argv []string) error {
 	inflight := fs.Int64("tenant-inflight", 0, "per-tenant concurrent request cap; over cap = 429 (0 = unlimited)")
 	repairRate := fs.Int64("repair-rate", 0, "repair read budget, bytes/sec (0 = unlimited)")
 	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget, bytes/sec (0 = unlimited)")
+	rebalRate := fs.Int64("rebalance-rate", 0, "rebalance migration read budget, bytes/sec; foreground gets are never paced (0 = unlimited)")
 	scrubEvery := fs.Duration("scrub-interval", 0, "background integrity-walk period (0 = no background scrub)")
+	rebalEvery := fs.Duration("rebalance-interval", 0, "background rebalance pass period; moves blocks onto joiners and off drainers (0 = no background rebalance)")
 	healthEvery := fs.Duration("health-interval", 0, "node health probe period; probing backends get auto dead/alive + auto-repair (0 = off)")
 	failK := fs.Int("health-fail-threshold", 3, "consecutive missed probes that confirm a node death")
 	reviveK := fs.Int("health-revive-threshold", 2, "consecutive answered probes that confirm a revival")
@@ -69,20 +72,22 @@ func run(argv []string) error {
 	if err != nil {
 		return err
 	}
-	if *repairRate != 0 || *scrubRate != 0 {
-		// Rate flags only matter on reopen; OpenOrCreate opens at 0,0, so
+	if *repairRate != 0 || *scrubRate != 0 || *rebalRate != 0 {
+		// Rate flags only matter on reopen; OpenOrCreate opens unpaced, so
 		// reopen with the budgets when any were asked for.
 		if err := s.Close(); err != nil {
 			return err
 		}
-		if s, err = sf.OpenRates(*repairRate, *scrubRate); err != nil {
+		rates := cliutil.Rates{Repair: *repairRate, Scrub: *scrubRate, Rebalance: *rebalRate}
+		if s, err = sf.OpenRates(rates); err != nil {
 			return err
 		}
 	}
 
 	// The self-healing plane: repair workers drain whatever scrubs (or
 	// the monitor) enqueue; the monitor turns backend probes into
-	// liveness flips and repair work. All optional — a store without
+	// liveness flips and repair work; the rebalancer moves blocks to
+	// match membership changes. All optional — a store without
 	// -health-interval behaves exactly as before, operator-driven.
 	rm := store.NewRepairManager(s, 0)
 	rm.Start()
@@ -92,8 +97,14 @@ func run(argv []string) error {
 		sc.Start()
 		defer sc.Stop()
 	}
+	reb := store.NewRebalancer(s, rm, *rebalEvery)
+	if *rebalEvery > 0 {
+		reb.Start()
+		defer reb.Stop()
+	}
+	var mon *store.HealthMonitor
 	if *healthEvery > 0 {
-		mon := store.NewHealthMonitor(s, rm, sc, store.MonitorConfig{
+		mon = store.NewHealthMonitor(s, rm, sc, store.MonitorConfig{
 			Interval:        *healthEvery,
 			FailThreshold:   *failK,
 			ReviveThreshold: *reviveK,
@@ -112,9 +123,23 @@ func run(argv []string) error {
 		return err
 	}
 
+	// The drain gate makes shutdown graceful for clients on keep-alive
+	// connections: once the flag flips, new requests are refused with a
+	// 503 and a Retry-After hint while in-flight ones run to completion
+	// under srv.Shutdown.
+	var draining atomic.Bool
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		g.ServeHTTP(w, r)
+	})
+
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           g,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -133,11 +158,23 @@ func run(argv []string) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("xorbasd: shutting down")
+	log.Printf("xorbasd: shutting down: refusing new requests, draining in-flight")
+	draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("xorbasd: shutdown: %v", err)
 	}
+	// Stop the background planes before the final save: SaveStore closes
+	// the store and checkpoints the metadata plane, and a repair, scrub
+	// or migration still in flight would race that close. The deferred
+	// Stops become no-ops.
+	if mon != nil {
+		mon.Stop()
+	}
+	reb.Stop()
+	sc.Stop()
+	rm.Stop()
+	log.Printf("xorbasd: checkpointing store")
 	return cliutil.SaveStore(*sf.Dir, s)
 }

@@ -1,75 +1,106 @@
 // Node decommissioning as a scheduled repair (§1.1): Hadoop's
 // decommission feature must copy a retiring node's data out before it
-// leaves — "complicated and time consuming" because every byte squeezes
-// through the retiring node's NIC. Treating decommission as a scheduled
-// repair instead recreates the blocks from their repair groups across
-// the whole cluster: more bytes read, but massively parallel. With the
-// LRC's 5-block local repairs the byte overhead is small and the drain
-// finishes much faster.
+// leaves — "complicated and time consuming". This walkthrough drives the
+// real store's elastic-membership path instead of a simulation: a node
+// is marked draining and the Rebalancer empties it.
+//
+// Two scenarios per codec:
+//
+//   - live drain: the node still answers, so each block is copied to a
+//     new home — one block read per block moved, identical for both
+//     codecs.
+//
+//   - dead drain (scheduled repair): the node is already gone when the
+//     decommission lands, so every block is recreated from its stripe's
+//     survivors. Here the codec decides the bill: the LRC rebuilds from
+//     its 5-block repair group where RS(10,4) must read 10 blocks.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/hdfs"
-	"repro/internal/sim"
+	"repro/internal/store"
 )
 
-const mb = 1 << 20
-
 func main() {
-	fmt.Println("decommissioning a DataNode holding ~32 blocks (100 files on 50 nodes):")
-	fmt.Printf("  %-28s %-16s %10s %10s\n", "strategy", "scheme", "GB read", "minutes")
-	for _, scheme := range []core.Scheme{core.NewRS104(), core.NewXorbas()} {
-		gb, minutes := run(scheme, false)
-		fmt.Printf("  %-28s %-16s %10.1f %10.1f\n", "copy-out (classic)", scheme.Name(), gb, minutes)
-		gb, minutes = run(scheme, true)
-		fmt.Printf("  %-28s %-16s %10.1f %10.1f\n", "scheduled repair (§1.1)", scheme.Name(), gb, minutes)
+	fmt.Println("decommissioning one node of 20 (32 objects, 64 KiB blocks):")
+	fmt.Printf("  %-28s %-12s %8s %8s %12s %10s\n",
+		"strategy", "scheme", "drained", "read", "reads/block", "elapsed")
+	for _, mk := range []func() store.Codec{
+		func() store.Codec { return store.NewRS104Codec() },
+		func() store.Codec { return store.NewXorbasCodec() },
+	} {
+		for _, dead := range []bool{false, true} {
+			run(mk(), dead)
+		}
 	}
-	fmt.Println("repair-drain spreads the work over the cluster instead of one NIC;")
-	fmt.Println("with the LRC it reads only 5 blocks per recreated block.")
+	fmt.Println("\na live drain copies: one read per block, either codec.")
+	fmt.Println("a dead drain repairs: the LRC's local groups read 5 blocks per")
+	fmt.Println("rebuilt block where RS(10,4) reads 10 — decommission-as-repair")
+	fmt.Println("is affordable exactly because repairs are local (§1.1).")
 }
 
-func run(scheme core.Scheme, repairDrain bool) (gb, minutes float64) {
-	eng := sim.NewEngine()
-	cl, err := cluster.New(eng, cluster.Config{
-		Nodes: 50, NodeOutBps: 12 * mb, NodeInBps: 12 * mb,
+func run(codec store.Codec, dead bool) {
+	s, err := store.New(store.Config{
+		Codec:     codec,
+		Backend:   store.NewMemBackend(),
+		Nodes:     20,
+		BlockSize: 64 << 10,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fs, err := hdfs.New(cl, scheme, hdfs.Config{
-		BlockSizeBytes: 64 * mb, SlotsPerNode: 2,
-		TaskLaunchSec: 10, FixerScanSec: 30,
-		DeployedReads: true, DecodeCPUSecPerRead: 0.3,
-		DegradedTimeoutSec: 15, Seed: 11,
-	})
-	if err != nil {
-		log.Fatal(err)
+	defer s.Close()
+
+	payload := make([]byte, 640<<10) // 10 data blocks: one full stripe
+	for i := range payload {
+		payload[i] = byte(i * 13)
 	}
-	for i := 0; i < 100; i++ {
-		if _, err := fs.AddFile(fmt.Sprintf("f%02d", i), 10); err != nil {
+	for i := 0; i < 32; i++ {
+		if err := s.Put(fmt.Sprintf("f%02d", i), payload); err != nil {
 			log.Fatal(err)
 		}
 	}
-	victim := 13
-	before := fs.Snapshot()
-	start := eng.Now()
-	if repairDrain {
-		err = fs.DrainNode(victim, nil)
-	} else {
-		err = fs.CopyOutNode(victim, nil)
+
+	const victim = 7
+	strategy := "live drain (copy-out)"
+	if dead {
+		strategy = "dead drain (sched. repair)"
+		s.KillNode(victim)
 	}
-	if err != nil {
+	if err := s.Decommission(victim); err != nil {
 		log.Fatal(err)
 	}
-	eng.Run()
-	d := fs.Delta(before)
-	if d.Unrecoverable > 0 {
-		log.Fatalf("%d blocks unrecoverable during decommission", d.Unrecoverable)
+
+	rm := store.NewRepairManager(s, 4)
+	rm.Start()
+	rb := store.NewRebalancer(s, rm, 0)
+	start := time.Now()
+	for pass := 0; pass < 5; pass++ {
+		rep := rb.RebalanceOnce()
+		rm.Drain()
+		if rep.Remaining == 0 {
+			break
+		}
 	}
-	return d.HDFSBytesRead / 1e9, (eng.Now() - start) / 60
+	elapsed := time.Since(start)
+	rm.Stop()
+
+	if st := s.MemberState(victim); st != store.NodeDead {
+		log.Fatalf("drain did not complete: victim is %s", st)
+	}
+	var buf bytes.Buffer
+	if _, err := s.GetWriter("f00", &buf); err != nil || !bytes.Equal(buf.Bytes(), payload) {
+		log.Fatalf("data damaged by decommission: %v", err)
+	}
+
+	m := s.Metrics()
+	drained := m.RebalancedBlocks + m.RepairedBlocks
+	reads := m.RebalanceBlocksRead + m.RepairBlocksRead
+	perBlock := float64(reads) / float64(drained)
+	fmt.Printf("  %-28s %-12s %8d %8d %12.1f %10s\n",
+		strategy, codec.Name(), drained, reads, perBlock, elapsed.Round(time.Millisecond))
 }

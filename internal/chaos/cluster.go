@@ -23,8 +23,12 @@ import (
 type Cluster struct {
 	mu      sync.Mutex
 	servers []*netblock.Server
-	client  *netblock.Client
-	fault   *store.FaultBackend
+	// backends holds each node's MemBackend "disk", so tests can count
+	// blocks per node — the presence/orphan walks of the rebalance
+	// acceptance scenario.
+	backends []*store.MemBackend
+	client   *netblock.Client
+	fault    *store.FaultBackend
 }
 
 // NewCluster boots n servers and dials the client with opts (zero
@@ -32,15 +36,20 @@ type Cluster struct {
 // DialTimeout, RetryBackoff and the breaker cooldown so scenarios
 // converge in test time).
 func NewCluster(n int, opts netblock.Options) (*Cluster, error) {
-	c := &Cluster{servers: make([]*netblock.Server, n)}
+	c := &Cluster{
+		servers:  make([]*netblock.Server, n),
+		backends: make([]*store.MemBackend, n),
+	}
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
-		srv, addr, err := netblock.StartLocal(store.NewMemBackend())
+		be := store.NewMemBackend()
+		srv, addr, err := netblock.StartLocal(be)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("chaos: start node %d: %w", i, err)
 		}
 		c.servers[i] = srv
+		c.backends[i] = be
 		addrs[i] = addr
 	}
 	client, err := netblock.Dial(addrs, opts)
@@ -95,14 +104,46 @@ func (c *Cluster) Restart(node int) error {
 	if old != nil {
 		old.Close()
 	}
-	srv, addr, err := netblock.StartLocal(store.NewMemBackend())
+	be := store.NewMemBackend()
+	srv, addr, err := netblock.StartLocal(be)
 	if err != nil {
 		return fmt.Errorf("chaos: restart node %d: %w", node, err)
 	}
 	c.mu.Lock()
 	c.servers[node] = srv
+	c.backends[node] = be
 	c.mu.Unlock()
 	return c.client.SetNode(node, addr)
+}
+
+// StartNode boots one more block-server process (fresh empty disk, own
+// port) and returns its address without registering it anywhere: the
+// caller hands the address to Store.AddNode, which registers it with
+// the netblock client through the NodeAdder chain — the same join path
+// an operator drives with `xorbasctl node add`. Kill/Restart/BlockCount
+// address the new node by the id Store.AddNode returns.
+func (c *Cluster) StartNode() (string, error) {
+	be := store.NewMemBackend()
+	srv, addr, err := netblock.StartLocal(be)
+	if err != nil {
+		return "", fmt.Errorf("chaos: start node: %w", err)
+	}
+	c.mu.Lock()
+	c.servers = append(c.servers, srv)
+	c.backends = append(c.backends, be)
+	c.mu.Unlock()
+	return addr, nil
+}
+
+// BlockCount reports how many blocks a node's disk holds — what a
+// presence walk over the node's directory would find. Counting works on
+// dead nodes too (the disk outlives the process), so tests can assert a
+// drained node's disk really emptied before its server went away.
+func (c *Cluster) BlockCount(node int) int {
+	c.mu.Lock()
+	be := c.backends[node]
+	c.mu.Unlock()
+	return be.BlockCount(node)
 }
 
 // SetFault implements Target.

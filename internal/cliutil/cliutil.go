@@ -73,12 +73,20 @@ func (f *StoreFlags) Codec() (store.Codec, error) {
 // Open opens the existing store the parsed flags describe — the shared
 // open-store-from-flags path.
 func (f *StoreFlags) Open() (*store.Store, error) {
-	return f.OpenRates(0, 0)
+	return f.OpenRates(Rates{})
 }
 
-// OpenRates is Open with background read-rate budgets (bytes/sec, 0 =
-// unlimited).
-func (f *StoreFlags) OpenRates(repairRate, scrubRate int64) (*store.Store, error) {
+// Rates bundles the background byte budgets (bytes/sec, 0 = unlimited)
+// for the three paced datapaths: repair reads, scrub reads, and
+// rebalance migration reads. Foreground gets are never paced.
+type Rates struct {
+	Repair    int64
+	Scrub     int64
+	Rebalance int64
+}
+
+// OpenRates is Open with background rate budgets.
+func (f *StoreFlags) OpenRates(r Rates) (*store.Store, error) {
 	if *f.Dir == "" {
 		return nil, fmt.Errorf("need -dir")
 	}
@@ -86,7 +94,7 @@ func (f *StoreFlags) OpenRates(repairRate, scrubRate int64) (*store.Store, error
 	if err != nil {
 		return nil, err
 	}
-	return OpenStoreRates(*f.Dir, spec, f.MetaDir(), repairRate, scrubRate)
+	return OpenStoreRates(*f.Dir, spec, f.MetaDir(), r)
 }
 
 // OpenOrCreate opens the store at -dir, creating an empty one with the
@@ -104,7 +112,7 @@ func (f *StoreFlags) OpenOrCreate(racks, blockSize int) (*store.Store, error) {
 	}
 	metaDir := f.MetaDir()
 	if _, err := os.Stat(StoreStatePath(*f.Dir)); err == nil {
-		return OpenStoreRates(*f.Dir, spec, metaDir, 0, 0)
+		return OpenStoreRates(*f.Dir, spec, metaDir, Rates{})
 	}
 	codec, err := f.Codec()
 	if err != nil {
@@ -227,14 +235,14 @@ func CodecByName(n string) (store.Codec, error) {
 // OpenStore loads an existing on-disk store, inferring the codec from
 // the saved state.
 func OpenStore(dir string, spec BackendSpec, metaDir string) (*store.Store, error) {
-	return OpenStoreRates(dir, spec, metaDir, 0, 0)
+	return OpenStoreRates(dir, spec, metaDir, Rates{})
 }
 
-// OpenStoreRates is OpenStore with read-rate budgets for the background
-// datapaths (bytes/sec, 0 = unlimited). With a metaDir, the plane is
+// OpenStoreRates is OpenStore with rate budgets for the background
+// datapaths. With a metaDir, the plane is
 // authoritative for manifests (store.json imports only into an empty
 // plane — the migration path) and this invocation's commits hit its WAL.
-func OpenStoreRates(dir string, spec BackendSpec, metaDir string, repairRate, scrubRate int64) (*store.Store, error) {
+func OpenStoreRates(dir string, spec BackendSpec, metaDir string, rates Rates) (*store.Store, error) {
 	blob, err := os.ReadFile(StoreStatePath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("no store at %s (run `store put` first): %w", dir, err)
@@ -253,7 +261,12 @@ func OpenStoreRates(dir string, spec BackendSpec, metaDir string, repairRate, sc
 	if err != nil {
 		return nil, err
 	}
-	if spec.Kind == "net" && len(spec.Addrs) != peek.Nodes {
+	// A grown cluster may legitimately list fewer addresses than the
+	// store has nodes: nodes added with `xorbasctl node add` recorded
+	// their addresses in the membership plane, and recovery re-registers
+	// the tail from those records. More addresses than nodes is always a
+	// misconfiguration.
+	if spec.Kind == "net" && len(spec.Addrs) > peek.Nodes {
 		return nil, fmt.Errorf("store has %d nodes but -nodes lists %d addresses", peek.Nodes, len(spec.Addrs))
 	}
 	be, err := spec.Open(dir)
@@ -261,11 +274,12 @@ func OpenStoreRates(dir string, spec BackendSpec, metaDir string, repairRate, sc
 		return nil, err
 	}
 	s, err := store.Restore(store.Config{
-		Codec:           codec,
-		Backend:         be,
-		MetaDir:         metaDir,
-		RepairRateBytes: repairRate,
-		ScrubRateBytes:  scrubRate,
+		Codec:              codec,
+		Backend:            be,
+		MetaDir:            metaDir,
+		RepairRateBytes:    rates.Repair,
+		ScrubRateBytes:     rates.Scrub,
+		RebalanceRateBytes: rates.Rebalance,
 	}, blob)
 	if err != nil {
 		return nil, err

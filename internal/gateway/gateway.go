@@ -303,6 +303,7 @@ func (g *Gateway) shedWrite(w http.ResponseWriter) bool {
 type healthNode struct {
 	Node        int     `json:"node"`
 	Alive       bool    `json:"alive"`
+	State       string  `json:"state"`
 	Breaker     string  `json:"breaker"`
 	ConsecFails int     `json:"consec_fails,omitempty"`
 	Opens       int64   `json:"opens,omitempty"`
@@ -313,13 +314,27 @@ type healthNode struct {
 	LastErr     string  `json:"last_err,omitempty"`
 }
 
+// healthMembership is the /healthz elastic-membership block: the planned
+// topology's epoch and per-state counts, plus drain/rebalance progress.
+type healthMembership struct {
+	Epoch            int64 `json:"epoch"`
+	Active           int   `json:"active"`
+	Joining          int   `json:"joining,omitempty"`
+	Draining         int   `json:"draining,omitempty"`
+	Dead             int   `json:"dead,omitempty"`
+	DrainingBlocks   int   `json:"draining_blocks,omitempty"`
+	RebalancedBlocks int64 `json:"rebalanced_blocks,omitempty"`
+	RebalancedBytes  int64 `json:"rebalanced_bytes,omitempty"`
+}
+
 // healthReport is the /healthz body: overall status plus the per-node
 // failure-plane view (liveness as the store records it, breaker state
-// as the backend sees it).
+// as the backend sees it, membership state as planned).
 type healthReport struct {
-	Status    string       `json:"status"`
-	LiveNodes int          `json:"live_nodes"`
-	Nodes     []healthNode `json:"nodes"`
+	Status     string           `json:"status"`
+	LiveNodes  int              `json:"live_nodes"`
+	Membership healthMembership `json:"membership"`
+	Nodes      []healthNode     `json:"nodes"`
 }
 
 // handleHealthz always answers 200 — a gateway that can report health
@@ -327,10 +342,27 @@ type healthReport struct {
 // distinguish "down" from "degraded but serving reads".
 func (g *Gateway) handleHealthz(w http.ResponseWriter) {
 	rep := healthReport{Status: "ok", LiveNodes: g.st.LiveNodes()}
+	ms := g.st.MembershipStatus()
+	rep.Membership = healthMembership{
+		Epoch:            ms.Epoch,
+		Active:           ms.Active,
+		Joining:          ms.Joining,
+		Draining:         ms.Draining,
+		Dead:             ms.Dead,
+		DrainingBlocks:   ms.DrainingBlocks,
+		RebalancedBlocks: ms.RebalancedBlocks,
+		RebalancedBytes:  ms.RebalancedBytes,
+	}
+	members := g.st.Members()
 	for _, info := range g.st.NodeHealth() {
+		state := string(store.NodeDead)
+		if info.Node >= 0 && info.Node < len(members) {
+			state = string(members[info.Node].State)
+		}
 		rep.Nodes = append(rep.Nodes, healthNode{
 			Node:        info.Node,
 			Alive:       info.Alive,
+			State:       state,
 			Breaker:     info.State,
 			ConsecFails: info.ConsecFails,
 			Opens:       info.Opens,
@@ -341,9 +373,13 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter) {
 			LastErr:     info.LastErr,
 		})
 	}
+	// "Degraded" is judged against the planned topology, not raw node
+	// count: a retired (dead) member missing is by design, a draining one
+	// is still expected up.
+	expected := ms.Active + ms.Joining + ms.Draining
 	if g.st.WriteDegraded() {
 		rep.Status = "degraded-readonly"
-	} else if rep.LiveNodes < g.st.Nodes() {
+	} else if rep.LiveNodes < expected {
 		rep.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, rep)

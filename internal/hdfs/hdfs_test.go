@@ -493,100 +493,7 @@ func TestTransientRestartDuringRepair(t *testing.T) {
 	}
 }
 
-// Decommissioning strategies (§1.1): copy-out moves minimal bytes but is
-// bottlenecked on the retiring node's NIC; repair-drain reads more bytes
-// yet finishes faster because repairs parallelize across the cluster.
-func TestDecommissionStrategies(t *testing.T) {
-	setup := func() (*sim.Engine, *FS, int) {
-		eng, cl := testCluster(t, 50)
-		fs := testFS(t, cl, core.NewXorbas())
-		// A realistic drain volume: ~32 blocks on the victim, so the
-		// copy-out path is clearly NIC-bound.
-		for i := 0; i < 100; i++ {
-			if _, err := fs.AddFile("f", 10); err != nil {
-				t.Fatal(err)
-			}
-		}
-		return eng, fs, 9
-	}
-
-	eng1, fs1, victim := setup()
-	stored := fs1.BlocksOn(victim)
-	if stored == 0 {
-		t.Skip("victim empty")
-	}
-	var movedCopy int
-	start1 := eng1.Now()
-	if err := fs1.CopyOutNode(victim, func(m int) { movedCopy = m }); err != nil {
-		t.Fatal(err)
-	}
-	eng1.Run()
-	copySec := eng1.Now() - start1
-	b1 := fs1.Snapshot()
-	if movedCopy != stored {
-		t.Fatalf("copy-out moved %d of %d", movedCopy, stored)
-	}
-
-	eng2, fs2, _ := setup()
-	var recreated int
-	start2 := eng2.Now()
-	if err := fs2.DrainNode(victim, func(r int) { recreated = r }); err != nil {
-		t.Fatal(err)
-	}
-	eng2.Run()
-	drainSec := eng2.Now() - start2
-	b2 := fs2.Snapshot()
-	if recreated != stored {
-		t.Fatalf("drain recreated %d of %d", recreated, stored)
-	}
-
-	// Copy-out reads fewer bytes; repair-drain finishes faster.
-	if b1.HDFSBytesRead >= b2.HDFSBytesRead {
-		t.Errorf("copy-out read %.0f ≥ drain %.0f bytes", b1.HDFSBytesRead, b2.HDFSBytesRead)
-	}
-	if drainSec >= copySec {
-		t.Errorf("repair-drain (%.0fs) not faster than copy-out (%.0fs)", drainSec, copySec)
-	}
-	// After either, nothing lives on the victim and nothing is lost.
-	for _, fs := range []*FS{fs1, fs2} {
-		for _, s := range fs.Stripes() {
-			for pos, nd := range s.Node {
-				if nd == victim && !s.Lost[pos] {
-					t.Fatal("block still on decommissioned node")
-				}
-				if s.Lost[pos] {
-					t.Fatal("block lost after decommission")
-				}
-			}
-		}
-	}
-}
-
-func TestDecommissionDeadNode(t *testing.T) {
-	eng, cl := testCluster(t, 50)
-	fs := testFS(t, cl, core.NewXorbas())
-	cl.Kill(5)
-	if err := fs.CopyOutNode(5, nil); err == nil {
-		t.Fatal("copy-out of dead node accepted")
-	}
-	if err := fs.DrainNode(5, nil); err == nil {
-		t.Fatal("drain of dead node accepted")
-	}
-	eng.Run()
-}
-
-func TestDecommissionEmptyNode(t *testing.T) {
-	eng, cl := testCluster(t, 50)
-	fs := testFS(t, cl, core.NewXorbas())
-	done := -1
-	if err := fs.DrainNode(7, func(n int) { done = n }); err != nil {
-		t.Fatal(err)
-	}
-	eng.Run()
-	if done != 0 {
-		t.Fatalf("empty drain callback got %d", done)
-	}
-	if cl.Alive(7) {
-		t.Fatal("empty node should still retire")
-	}
-}
+// Decommissioning moved to the real datapath: internal/store's elastic
+// membership (Decommission + Rebalancer) supersedes the simulation's
+// CopyOutNode/DrainNode, keeping the §1.1 drain-ordering policy — see
+// internal/store/rebalance.go and examples/decommission.

@@ -44,18 +44,10 @@ func TestStressRandomFailureInjection(t *testing.T) {
 						delete(down, n)
 						break
 					}
-				case op < 9: // corrupt/lose one random block
+				default: // corrupt/lose one random block
 					stripes := fs.Stripes()
 					s := stripes[rng.Intn(len(stripes))]
 					fs.LoseBlock(s, rng.Intn(len(s.Node)))
-				default: // drain a node (decommission as repair)
-					live := cl.LiveNodes()
-					if len(live) > 20 {
-						n := live[rng.Intn(len(live))]
-						if err := fs.DrainNode(n, nil); err == nil {
-							down[n] = true
-						}
-					}
 				}
 				// Let a random amount of simulated time pass.
 				eng.RunUntil(eng.Now() + float64(10+rng.Intn(600)))

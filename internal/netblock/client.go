@@ -57,6 +57,11 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// BreakerMaxCooldown caps the exponential cooldown growth.
 	BreakerMaxCooldown time.Duration
+	// ChunkSize is the window size for streamed block transfers
+	// (ReadBlockTo / WriteBlockFrom), default 1 MiB. Each window is one
+	// request/response, so the per-operation deadline applies per window
+	// and a multi-GB migration never needs a multi-GB deadline.
+	ChunkSize int
 }
 
 func (o *Options) fillDefaults() {
@@ -91,6 +96,9 @@ func (o *Options) fillDefaults() {
 	if o.BreakerMaxCooldown <= 0 {
 		o.BreakerMaxCooldown = 15 * time.Second
 	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 1 << 20
+	}
 }
 
 // clientNode is one remote node: its address, idle-connection pool and
@@ -119,7 +127,13 @@ type clientNode struct {
 // free — the streaming put and repair paths then skip their defensive
 // copies.
 type Client struct {
-	opts  Options
+	opts Options
+
+	// mu guards the node table's shape: AddNode grows it at runtime
+	// (elastic membership), so every index lookup snapshots under the
+	// read lock. The *clientNode entries themselves never move or get
+	// replaced — per-node state has its own locks.
+	mu    sync.RWMutex
 	nodes []*clientNode
 }
 
@@ -145,7 +159,34 @@ func Dial(addrs []string, opts Options) (*Client, error) {
 }
 
 // Nodes returns how many node addresses the client spans.
-func (c *Client) Nodes() int { return len(c.nodes) }
+func (c *Client) Nodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
+
+// AddNode implements store.NodeAdder: one more node joins the address
+// table and its id (the previous count) is returned. An empty addr is
+// accepted — the store re-registers retired nodes at recovery to keep
+// ids aligned, and an address-less node simply fails every dial until
+// SetNode repoints it.
+func (c *Client) AddNode(addr string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := len(c.nodes)
+	c.nodes = append(c.nodes, &clientNode{
+		addr:   addr,
+		health: newNodeHealth(c.opts.BreakerThreshold, c.opts.BreakerCooldown, c.opts.BreakerMaxCooldown),
+	})
+	return id, nil
+}
+
+// nodesSnapshot copies the node table under the read lock.
+func (c *Client) nodesSnapshot() []*clientNode {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*clientNode(nil), c.nodes...)
+}
 
 // SetNode repoints node to addr — a node that came back on a new port
 // (or a replacement process) slots in without rebuilding the client.
@@ -173,7 +214,7 @@ func (c *Client) SetNode(node int, addr string) error {
 // operations dial afresh); Close exists so tests and the CLI exit
 // without lingering sockets.
 func (c *Client) Close() error {
-	for _, n := range c.nodes {
+	for _, n := range c.nodesSnapshot() {
 		n.mu.Lock()
 		idle := n.idle
 		n.idle = nil
@@ -189,9 +230,10 @@ func (c *Client) Close() error {
 // sent to and received from each node (headers + keys + payloads; TCP/IP
 // framing excluded). Index i is store node i.
 func (c *Client) WireTraffic() (sent, recv []int64) {
-	sent = make([]int64, len(c.nodes))
-	recv = make([]int64, len(c.nodes))
-	for i, n := range c.nodes {
+	nodes := c.nodesSnapshot()
+	sent = make([]int64, len(nodes))
+	recv = make([]int64, len(nodes))
+	for i, n := range nodes {
 		sent[i] = n.sent.Load()
 		recv[i] = n.recv.Load()
 	}
@@ -199,6 +241,8 @@ func (c *Client) WireTraffic() (sent, recv []int64) {
 }
 
 func (c *Client) node(node int) (*clientNode, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if node < 0 || node >= len(c.nodes) {
 		return nil, fmt.Errorf("netblock: node %d out of range [0,%d)", node, len(c.nodes))
 	}
@@ -462,8 +506,9 @@ func (c *Client) CheckNode(node int) error { return c.Ping(node) }
 // NodeHealth implements store.HealthStats: a snapshot of every node's
 // breaker state and windowed error/latency accounting.
 func (c *Client) NodeHealth() []store.NodeHealthInfo {
-	out := make([]store.NodeHealthInfo, len(c.nodes))
-	for i, n := range c.nodes {
+	nodes := c.nodesSnapshot()
+	out := make([]store.NodeHealthInfo, len(nodes))
+	for i, n := range nodes {
 		out[i] = n.health.snapshot()
 		out[i].Node = i
 	}

@@ -30,12 +30,28 @@ import (
 	"io"
 )
 
-// Protocol ops.
+// Protocol ops. The chunked ops exist for blocks bigger than one wire
+// frame (the rebalancer migrating 256 MB paper-scale blocks): opReadChunk
+// returns a bounded window of a block plus its total size, and
+// opWriteBegin/opWriteChunk/opWriteCommit stage an upload on the
+// connection, committing atomically so a reader never observes a
+// half-written block.
 const (
 	opWrite  = 'W'
 	opRead   = 'R'
 	opDelete = 'D'
 	opPing   = 'P'
+	// opReadChunk's 12-byte payload is offset(u64) maxLen(u32); the
+	// response data is total(u64) followed by the window bytes.
+	opReadChunk = 'C'
+	// opWriteBegin stages an empty upload for the request's key on this
+	// connection; opWriteChunk appends its payload to the stage;
+	// opWriteCommit writes the staged bytes to the backend in one call
+	// and clears the stage. Stages are connection-local: a dropped
+	// connection discards its partial uploads.
+	opWriteBegin  = 'B'
+	opWriteChunk  = 'A'
+	opWriteCommit = 'M'
 )
 
 // Response statuses.
@@ -54,9 +70,34 @@ const (
 	// provoking a giant allocation.
 	maxKeyLen = 4096
 	// maxDataLen bounds one framed block on the wire (1 GiB; the paper's
-	// 256 MB blocks fit with room). Same corrupt-header defense.
+	// 256 MB blocks fit with room). Same corrupt-header defense. Staged
+	// chunked uploads are held to the same total.
 	maxDataLen = 1 << 30
+	// chunkReqLen is opReadChunk's fixed payload: offset(u64) maxLen(u32).
+	chunkReqLen = 12
+	// chunkRespHdrLen prefixes every opReadChunk response: total(u64).
+	chunkRespHdrLen = 8
+	// maxStagedKeys bounds concurrent chunked uploads per connection —
+	// the client pins one connection per upload, so more than a few
+	// stages on one connection is a protocol abuse, not a workload.
+	maxStagedKeys = 4
 )
+
+// appendChunkReq encodes an opReadChunk payload.
+func appendChunkReq(dst []byte, offset uint64, maxLen uint32) []byte {
+	var b [chunkReqLen]byte
+	binary.LittleEndian.PutUint64(b[:], offset)
+	binary.LittleEndian.PutUint32(b[8:], maxLen)
+	return append(dst, b[:]...)
+}
+
+// parseChunkReq decodes an opReadChunk payload.
+func parseChunkReq(b []byte) (offset uint64, maxLen uint32, err error) {
+	if len(b) != chunkReqLen {
+		return 0, 0, fmt.Errorf("netblock: chunk read payload is %d bytes, want %d", len(b), chunkReqLen)
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint32(b[8:]), nil
+}
 
 // request is one decoded client request.
 type request struct {
@@ -143,15 +184,25 @@ func readRequest(r io.Reader) (request, error) {
 	}
 	dataLen := int(dataLen64)
 	switch req.op {
-	case opWrite, opRead, opDelete, opPing:
+	case opWrite, opRead, opDelete, opPing, opReadChunk, opWriteBegin, opWriteChunk, opWriteCommit:
 	default:
 		return request{}, fmt.Errorf("netblock: unknown op %q", req.op)
 	}
-	// Only writes carry a payload; a non-write claiming one would make
-	// the server buffer up to maxDataLen per request just to throw it
-	// away, so it is a protocol violation like an unknown op.
-	if req.op != opWrite && dataLen != 0 {
-		return request{}, fmt.Errorf("netblock: op %q carries %d payload bytes", req.op, dataLen)
+	// Only writes and chunk appends carry a free-form payload, and a
+	// chunk read carries exactly its fixed 12-byte window spec; any other
+	// op claiming bytes would make the server buffer up to maxDataLen per
+	// request just to throw it away, so it is a protocol violation like
+	// an unknown op.
+	switch {
+	case req.op == opWrite || req.op == opWriteChunk:
+	case req.op == opReadChunk:
+		if dataLen != chunkReqLen {
+			return request{}, fmt.Errorf("netblock: chunk read carries %d payload bytes, want %d", dataLen, chunkReqLen)
+		}
+	default:
+		if dataLen != 0 {
+			return request{}, fmt.Errorf("netblock: op %q carries %d payload bytes", req.op, dataLen)
+		}
 	}
 	buf, err := readBody(r, keyLen+dataLen)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -48,6 +49,30 @@ type OwnedWriter interface {
 // be read off real wire counters instead of in-process accounting.
 type WireStats interface {
 	WireTraffic() (sent, recv []int64)
+}
+
+// NodeAdder is an optional Backend extension for backends with per-node
+// addressing (the netblock client): AddNode registers one more node and
+// returns its id, which must equal the previous node count. Backends
+// addressed by plain integer index (MemBackend, DirBackend) accept any
+// node id natively and don't implement it; the store then grows
+// membership without a registration step. Implementations may return an
+// error wrapping errors.ErrUnsupported to decline.
+type NodeAdder interface {
+	AddNode(addr string) (int, error)
+}
+
+// BlockStreamer is an optional Backend extension for moving whole framed
+// blocks without holding them in one wire frame — the migration path for
+// blocks bigger than a protocol message. ReadBlockTo streams a block's
+// framed bytes into w and returns the byte count; WriteBlockFrom streams
+// r into the block, replacing any previous value, atomically on success
+// (a reader never observes a half-written block). Implementations may
+// return an error wrapping errors.ErrUnsupported; callers then fall back
+// to whole-frame Read/Write.
+type BlockStreamer interface {
+	ReadBlockTo(node int, key string, w io.Writer) (int64, error)
+	WriteBlockFrom(node int, key string, r io.Reader) (int64, error)
 }
 
 // castagnoli is the CRC32C table (the polynomial HDFS uses for block

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"time"
@@ -260,4 +261,46 @@ func (f *FaultBackend) NodeHealth() []NodeHealthInfo {
 		return hs.NodeHealth()
 	}
 	return nil
+}
+
+// AddNode implements NodeAdder by delegation, so elastic membership
+// grows through the chaos harness: new nodes are born healthy (no fault
+// entry) and pick up faults via SetFault like any other. An inner
+// backend without per-node addressing declines with ErrUnsupported and
+// the store skips registration.
+func (f *FaultBackend) AddNode(addr string) (int, error) {
+	if na, ok := f.inner.(NodeAdder); ok {
+		return na.AddNode(addr)
+	}
+	return -1, fmt.Errorf("store: fault backend: add node: %w", errors.ErrUnsupported)
+}
+
+// ReadBlockTo implements BlockStreamer by delegation, with the node's
+// fault roll applied up front (a streamed migration read fails or slows
+// like any other read; corruption injection stays on the unstreamed
+// path). ErrUnsupported when the inner backend cannot stream.
+func (f *FaultBackend) ReadBlockTo(node int, key string, w io.Writer) (int64, error) {
+	bs, ok := f.inner.(BlockStreamer)
+	if !ok {
+		return 0, fmt.Errorf("store: fault backend: read stream: %w", errors.ErrUnsupported)
+	}
+	delay, fail, _ := f.roll(node)
+	if err := apply(node, delay, fail); err != nil {
+		return 0, err
+	}
+	return bs.ReadBlockTo(node, key, w)
+}
+
+// WriteBlockFrom implements BlockStreamer by delegation, same fault
+// discipline as ReadBlockTo.
+func (f *FaultBackend) WriteBlockFrom(node int, key string, r io.Reader) (int64, error) {
+	bs, ok := f.inner.(BlockStreamer)
+	if !ok {
+		return 0, fmt.Errorf("store: fault backend: write stream: %w", errors.ErrUnsupported)
+	}
+	delay, fail, _ := f.roll(node)
+	if err := apply(node, delay, fail); err != nil {
+		return 0, err
+	}
+	return bs.WriteBlockFrom(node, key, r)
 }

@@ -58,15 +58,14 @@ type HealthStats interface {
 func (s *Store) NodeHealth() []NodeHealthInfo {
 	alive := s.aliveSnapshot()
 	infos := make([]NodeHealthInfo, len(alive))
+	for i := range infos {
+		infos[i].State = "untracked"
+	}
 	if hs, ok := s.cfg.Backend.(HealthStats); ok {
 		for i, info := range hs.NodeHealth() {
 			if i < len(infos) {
 				infos[i] = info
 			}
-		}
-	} else {
-		for i := range infos {
-			infos[i].State = "untracked"
 		}
 	}
 	for i := range infos {
@@ -89,11 +88,13 @@ func (s *Store) LiveNodes() int {
 	return live
 }
 
-// WriteDegraded reports whether the store has too few live nodes to
-// place a full stripe: writes would fail mid-stripe, so the gateway
-// sheds them (503 + Retry-After) while reads keep serving degraded.
+// WriteDegraded reports whether the store has too few placeable nodes —
+// alive AND in the active/joining membership set — to place a full
+// stripe: writes would fail mid-stripe, so the gateway sheds them
+// (503 + Retry-After) while reads keep serving degraded. Draining and
+// dead members don't count even when their processes answer probes.
 func (s *Store) WriteDegraded() bool {
-	return s.LiveNodes() < s.cfg.Codec.NStored()
+	return s.PlaceableNodes() < s.cfg.Codec.NStored()
 }
 
 // MonitorConfig tunes a HealthMonitor. Zero fields take defaults.
@@ -211,7 +212,14 @@ func (m *HealthMonitor) Stop() {
 // queue); a revival runs a full scrub so anything the node lost while
 // down is found and fixed.
 func (m *HealthMonitor) tick() {
-	n := m.s.cfg.Nodes
+	// The node set can grow between ticks (AddNode); size every round
+	// off the membership table and stretch the streak slices to match.
+	states := m.s.memberStates()
+	n := len(states)
+	for len(m.fails) < n {
+		m.fails = append(m.fails, 0)
+		m.oks = append(m.oks, 0)
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -228,6 +236,13 @@ func (m *HealthMonitor) tick() {
 		if errs[i] != nil {
 			m.fails[i]++
 			m.oks[i] = 0
+			// A draining node's liveness belongs to the rebalancer's
+			// drain protocol, not the monitor: flipping it dead here
+			// would turn a planned drain into repair churn. Keep probing
+			// (the streaks stay current) but suppress the kill.
+			if states[i] == NodeDraining {
+				continue
+			}
 			if m.fails[i] >= m.cfg.FailThreshold && m.s.Alive(i) {
 				m.s.KillNode(i)
 				m.s.m.autoDeaths.Add(1)
@@ -237,6 +252,12 @@ func (m *HealthMonitor) tick() {
 		}
 		m.oks[i]++
 		m.fails[i] = 0
+		// Suppress revival for draining nodes (same reasoning as above)
+		// and for dead members: a decommissioned process that still
+		// answers pings must never rejoin the topology.
+		if states[i] == NodeDraining || states[i] == NodeDead {
+			continue
+		}
 		if m.oks[i] >= m.cfg.ReviveThreshold && !m.s.Alive(i) {
 			m.s.ReviveNode(i)
 			m.s.m.autoRevivals.Add(1)

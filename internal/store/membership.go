@@ -1,0 +1,318 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Cluster membership is a first-class, durable subsystem: every node has
+// a state in the planned topology, separate from its probe-driven
+// liveness bit. Liveness answers "can I read from it right now";
+// membership answers "should new bytes land on it".
+//
+//	          AddNode                    rebalance pass completes
+//	  (new id) ──────▶ joining ────────────────────────▶ active
+//	                                                        │
+//	                                          Decommission  │
+//	                                                        ▼
+//	    dead ◀──────────────────────────────────────── draining
+//	           drain completes (no manifest blocks left)
+//
+// RemoveNode is the hard edge active→dead (the node is gone; its blocks
+// become repair work). States are persisted in the metadata plane under
+// n/ keys and recovered on restart like the repair queue, so a kill -9
+// forgets nothing. Node ids are never reused: old manifests keep
+// resolving mid-migration, new stripes simply stop landing on retired
+// ids.
+
+// NodeState is a node's place in the planned topology.
+type NodeState string
+
+const (
+	// NodeActive nodes hold blocks and receive new placements.
+	NodeActive NodeState = "active"
+	// NodeJoining nodes receive new placements and rebalanced blocks but
+	// held nothing historically; the first completed rebalance pass
+	// promotes them to active.
+	NodeJoining NodeState = "joining"
+	// NodeDraining nodes serve reads but receive no placements; the
+	// rebalancer migrates their blocks away and promotes them to dead
+	// when none remain.
+	NodeDraining NodeState = "draining"
+	// NodeDead nodes are out of the topology for good.
+	NodeDead NodeState = "dead"
+)
+
+// memberRecord is the durable n/ record for one node.
+type memberRecord struct {
+	Node  int       `json:"node"`
+	Addr  string    `json:"addr,omitempty"`
+	State NodeState `json:"state"`
+	// Epoch is the membership epoch this record was last written at; the
+	// store's epoch recovers as the max over records.
+	Epoch int64 `json:"epoch"`
+}
+
+// MemberInfo is the exported view of one membership record.
+type MemberInfo struct {
+	Node  int       `json:"node"`
+	Addr  string    `json:"addr,omitempty"`
+	State NodeState `json:"state"`
+	Alive bool      `json:"alive"`
+	Epoch int64     `json:"epoch"`
+}
+
+// placeable reports whether a node in this state may receive new blocks.
+func (st NodeState) placeable() bool { return st == NodeActive || st == NodeJoining }
+
+// Members returns the membership table, one row per node id ever issued.
+func (s *Store) Members() []MemberInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]MemberInfo, len(s.members))
+	for i, m := range s.members {
+		out[i] = MemberInfo{Node: m.Node, Addr: m.Addr, State: m.State, Alive: s.alive[i], Epoch: m.Epoch}
+	}
+	return out
+}
+
+// Epoch returns the current membership epoch: 0 for the seed topology,
+// bumped by every membership change.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
+
+// MemberState returns a node's membership state (NodeDead for unknown
+// ids — they are not in the topology).
+func (s *Store) MemberState(n int) NodeState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n < 0 || n >= len(s.members) {
+		return NodeDead
+	}
+	return s.members[n].State
+}
+
+// memberStates snapshots the per-node states.
+func (s *Store) memberStates() []NodeState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]NodeState, len(s.members))
+	for i := range s.members {
+		out[i] = s.members[i].State
+	}
+	return out
+}
+
+// placeableSnapshot is the placement view of the cluster: alive AND in a
+// placeable state. Reads still use aliveSnapshot — a draining node's
+// blocks stay readable mid-migration.
+func (s *Store) placeableSnapshot() []bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]bool, len(s.alive))
+	for i := range out {
+		out[i] = s.alive[i] && s.members[i].State.placeable()
+	}
+	return out
+}
+
+// PlaceableNodes counts nodes eligible for new placements.
+func (s *Store) PlaceableNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for i := range s.alive {
+		if s.alive[i] && s.members[i].State.placeable() {
+			n++
+		}
+	}
+	return n
+}
+
+// AddNode grows the cluster by one node and returns its id. The node
+// starts joining: new stripes may land on it immediately and the
+// rebalancer fills it toward the cluster mean, then promotes it to
+// active. When the backend supports dynamic growth (NodeAdder — the
+// netblock client), addr is registered there first; backends addressed
+// by plain node index (MemBackend, DirBackend) need no registration and
+// accept addr == "".
+func (s *Store) AddNode(addr string) (int, error) {
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+
+	s.mu.RLock()
+	id := len(s.members)
+	s.mu.RUnlock()
+	if na, ok := s.cfg.Backend.(NodeAdder); ok {
+		got, err := na.AddNode(addr)
+		if err != nil && !errors.Is(err, errors.ErrUnsupported) {
+			return -1, fmt.Errorf("store: backend add node: %w", err)
+		}
+		if err == nil && got != id {
+			return -1, fmt.Errorf("store: backend issued node id %d, membership expected %d", got, id)
+		}
+	}
+
+	epoch := s.epoch.Add(1)
+	rec := memberRecord{Node: id, Addr: addr, State: NodeJoining, Epoch: epoch}
+	s.mu.Lock()
+	s.members = append(s.members, rec)
+	s.alive = append(s.alive, true)
+	s.mu.Unlock()
+	if err := s.db.Put(nodeKey(id), &rec); err != nil {
+		return -1, err
+	}
+	_ = s.logState()
+	return id, nil
+}
+
+// Decommission marks a node draining: it serves reads (if alive) but
+// receives no new blocks, and the rebalancer migrates its blocks away —
+// live blocks by direct paced copy, unreadable ones (the node may
+// already be dead) by presence-walk repair from their groups. When
+// nothing remains the node retires to dead.
+func (s *Store) Decommission(n int) error {
+	return s.transition(n, NodeDraining, func(cur NodeState) error {
+		if cur == NodeDead {
+			return fmt.Errorf("store: node %d is already dead", n)
+		}
+		return nil
+	})
+}
+
+// RemoveNode retires a node immediately: dead in the topology, dead for
+// liveness. Its remaining blocks become repair work (enqueue with a
+// presence walk — ScrubPresence or a rebalance pass).
+func (s *Store) RemoveNode(n int) error {
+	err := s.transition(n, NodeDead, func(cur NodeState) error { return nil })
+	if err != nil {
+		return err
+	}
+	s.KillNode(n)
+	return nil
+}
+
+// transition moves node n to state after check approves the current
+// state, persisting the record and bumping the epoch.
+func (s *Store) transition(n int, state NodeState, check func(cur NodeState) error) error {
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+	s.mu.Lock()
+	if n < 0 || n >= len(s.members) {
+		s.mu.Unlock()
+		return fmt.Errorf("store: no node %d", n)
+	}
+	cur := s.members[n].State
+	if err := check(cur); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if cur == state {
+		s.mu.Unlock()
+		return nil // idempotent
+	}
+	epoch := s.epoch.Add(1)
+	s.members[n].State = state
+	s.members[n].Epoch = epoch
+	rec := s.members[n]
+	if state == NodeDead {
+		s.alive[n] = false
+	}
+	s.mu.Unlock()
+	if err := s.db.Put(nodeKey(n), &rec); err != nil {
+		return err
+	}
+	return s.logState()
+}
+
+// promote is transition without the public error contract: used by the
+// rebalancer for joining→active and draining→dead. Reports whether the
+// state actually changed.
+func (s *Store) promote(n int, from, to NodeState) bool {
+	changed := false
+	err := s.transition(n, to, func(cur NodeState) error {
+		if cur != from {
+			return errAbortTransition
+		}
+		changed = true
+		return nil
+	})
+	return err == nil && changed
+}
+
+// errAbortTransition backs promote's compare-and-set semantics.
+var errAbortTransition = errors.New("store: membership state moved")
+
+// recoverMembers applies the n/ records found at open: the membership
+// table may be larger than cfg.Nodes (nodes added before a crash), and
+// nodes past the backend's construction size re-register their address
+// with a NodeAdder backend so the datapath can reach them again.
+func (s *Store) recoverMembers() error {
+	var recs []*memberRecord
+	it := s.db.Scan(nodePrefix)
+	for {
+		_, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, v.(*memberRecord))
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	// The plane's scan order is sharded; the NodeAdder registration below
+	// must issue ids in node order.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Node < recs[j].Node })
+	var maxEpoch int64
+	na, _ := s.cfg.Backend.(NodeAdder)
+	s.mu.Lock()
+	for _, m := range recs {
+		if m.Node < 0 {
+			continue
+		}
+		for len(s.members) <= m.Node {
+			id := len(s.members)
+			s.members = append(s.members, memberRecord{Node: id, State: NodeActive})
+			s.alive = append(s.alive, true)
+		}
+		s.members[m.Node] = *m
+		if m.State == NodeDead {
+			s.alive[m.Node] = false
+		}
+		if m.Epoch > maxEpoch {
+			maxEpoch = m.Epoch
+		}
+	}
+	s.mu.Unlock()
+	if s.epoch.Load() < maxEpoch {
+		s.epoch.Store(maxEpoch)
+	}
+	// Re-register recovered nodes the backend was not constructed with —
+	// every id in order, dead ones included, so backend ids stay aligned
+	// with membership ids. The backend's own count is authoritative when
+	// it exposes one: a grown net cluster reopened from the original
+	// address list starts short, and the recorded addresses rebuild the
+	// tail.
+	if na != nil {
+		base := s.cfg.Nodes
+		if nc, ok := s.cfg.Backend.(interface{ Nodes() int }); ok {
+			base = nc.Nodes()
+		}
+		for _, m := range recs {
+			if m.Node < base {
+				continue
+			}
+			got, err := na.AddNode(m.Addr)
+			if err != nil {
+				if errors.Is(err, errors.ErrUnsupported) {
+					break
+				}
+				return fmt.Errorf("store: re-register node %d: %w", m.Node, err)
+			}
+			if got != m.Node {
+				return fmt.Errorf("store: backend re-registered node %d as %d", m.Node, got)
+			}
+		}
+	}
+	return nil
+}

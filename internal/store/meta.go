@@ -15,6 +15,7 @@ import (
 //	q/<gen>.<idx>/<name>  a queued repair item (*repairRecord)
 //	s/state               liveness + generation watermark (*stateRecord)
 //	u/<id>                a serving-tier upload record (opaque []byte)
+//	n/<node>              a cluster membership record (*memberRecord)
 //
 // Manifests are the hot records: committed durably before a Put acks,
 // relocated copy-on-write by repair workers, and walked by scrub
@@ -28,9 +29,12 @@ const (
 	qPrefix      = "q/"
 	stateKey     = "s/state"
 	uploadPrefix = "u/"
+	nodePrefix   = "n/"
 )
 
 func objKey(name string) string { return objPrefix + name }
+
+func nodeKey(n int) string { return fmt.Sprintf("%s%06d", nodePrefix, n) }
 
 func qKey(ref stripeRef) string {
 	return fmt.Sprintf("%s%d.%d/%s", qPrefix, ref.gen, ref.idx, ref.name)
@@ -117,6 +121,12 @@ func (metaCodec) Decode(key string, b []byte) (any, error) {
 		// Serving-tier records are opaque to the store; copy because
 		// replay buffers are reused.
 		return append([]byte(nil), b...), nil
+	case strings.HasPrefix(key, nodePrefix):
+		m := &memberRecord{}
+		if err := json.Unmarshal(b, m); err != nil {
+			return nil, err
+		}
+		return m, nil
 	default:
 		return nil, fmt.Errorf("store: unknown meta key %q", key)
 	}
@@ -151,6 +161,12 @@ func (s *Store) openMeta() error {
 				maxSeq = sq
 			}
 		}
+	}
+	// Membership records may grow the node set past cfg.Nodes (nodes
+	// added before a crash), so apply them before the liveness record —
+	// its Dead indices must resolve against the full table.
+	if err := s.recoverMembers(); err != nil {
+		return err
 	}
 	if v, ok := db.Get(stateKey); ok {
 		st := v.(*stateRecord)

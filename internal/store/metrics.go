@@ -79,6 +79,11 @@ type counters struct {
 	hedgeWins    atomic.Int64
 	autoDeaths   atomic.Int64
 	autoRevivals atomic.Int64
+
+	rebalancedBlocks    atomic.Int64
+	rebalancedBytes     atomic.Int64
+	rebalanceBlocksRead atomic.Int64
+	rebalanceBytesRead  atomic.Int64
 }
 
 func (c *counters) mergeRead(a *readAcct) {
@@ -133,6 +138,14 @@ type Metrics struct {
 	HedgeFires, HedgeWins    int64
 	AutoDeaths, AutoRevivals int64
 	BreakerOpens             int64
+	// Rebalance path: blocks migrated off draining nodes / onto joiners
+	// by the Rebalancer, the payload bytes that moved, and what the moves
+	// read from the backend. A live migration reads exactly one block per
+	// moved block; draining an already-dead node goes through repair
+	// instead and shows up in the Repair counters (where LRC reads half
+	// of RS's bytes).
+	RebalancedBlocks, RebalancedBytes       int64
+	RebalanceBlocksRead, RebalanceBytesRead int64
 	// Wire totals, present when the backend implements WireStats (the
 	// TCP netblock client): cumulative protocol bytes sent to and
 	// received from all nodes. These count what actually crossed the
@@ -176,31 +189,35 @@ func (s *Store) Metrics() Metrics {
 		}
 	}
 	return Metrics{
-		PutBlocks:          s.m.putBlocks.Load(),
-		PutBytes:           s.m.putBytes.Load(),
-		ReadBlocks:         s.m.readBlocks.Load(),
-		ReadBytes:          s.m.readBytes.Load(),
-		DegradedReads:      s.m.degradedReads.Load(),
-		LightRepairs:       s.m.lightRepairs.Load(),
-		HeavyRepairs:       s.m.heavyRepairs.Load(),
-		ScrubbedStripes:    s.m.scrubbedStripes.Load(),
-		ScrubBlocksRead:    s.m.scrubBlocksRead.Load(),
-		ScrubBytesRead:     s.m.scrubBytesRead.Load(),
-		MissingBlocksFound: s.m.missingFound.Load(),
-		CorruptBlocksFound: s.m.corruptFound.Load(),
-		RepairBlocksRead:   s.m.repairBlocksRead.Load(),
-		RepairBytesRead:    s.m.repairBytesRead.Load(),
-		RepairedBlocks:     s.m.repairedBlocks.Load(),
-		RepairedBytes:      s.m.repairedBytes.Load(),
-		RepairsLight:       s.m.repairsLight.Load(),
-		RepairsHeavy:       s.m.repairsHeavy.Load(),
-		HedgeFires:         s.m.hedgeFires.Load(),
-		HedgeWins:          s.m.hedgeWins.Load(),
-		AutoDeaths:         s.m.autoDeaths.Load(),
-		AutoRevivals:       s.m.autoRevivals.Load(),
-		BreakerOpens:       breakerOpens,
-		WireSentBytes:      wireSent,
-		WireRecvBytes:      wireRecv,
+		PutBlocks:           s.m.putBlocks.Load(),
+		PutBytes:            s.m.putBytes.Load(),
+		ReadBlocks:          s.m.readBlocks.Load(),
+		ReadBytes:           s.m.readBytes.Load(),
+		DegradedReads:       s.m.degradedReads.Load(),
+		LightRepairs:        s.m.lightRepairs.Load(),
+		HeavyRepairs:        s.m.heavyRepairs.Load(),
+		ScrubbedStripes:     s.m.scrubbedStripes.Load(),
+		ScrubBlocksRead:     s.m.scrubBlocksRead.Load(),
+		ScrubBytesRead:      s.m.scrubBytesRead.Load(),
+		MissingBlocksFound:  s.m.missingFound.Load(),
+		CorruptBlocksFound:  s.m.corruptFound.Load(),
+		RepairBlocksRead:    s.m.repairBlocksRead.Load(),
+		RepairBytesRead:     s.m.repairBytesRead.Load(),
+		RepairedBlocks:      s.m.repairedBlocks.Load(),
+		RepairedBytes:       s.m.repairedBytes.Load(),
+		RepairsLight:        s.m.repairsLight.Load(),
+		RepairsHeavy:        s.m.repairsHeavy.Load(),
+		HedgeFires:          s.m.hedgeFires.Load(),
+		HedgeWins:           s.m.hedgeWins.Load(),
+		AutoDeaths:          s.m.autoDeaths.Load(),
+		AutoRevivals:        s.m.autoRevivals.Load(),
+		BreakerOpens:        breakerOpens,
+		RebalancedBlocks:    s.m.rebalancedBlocks.Load(),
+		RebalancedBytes:     s.m.rebalancedBytes.Load(),
+		RebalanceBlocksRead: s.m.rebalanceBlocksRead.Load(),
+		RebalanceBytesRead:  s.m.rebalanceBytesRead.Load(),
+		WireSentBytes:       wireSent,
+		WireRecvBytes:       wireRecv,
 
 		MetaWALBytes:        mm.WALBytes,
 		MetaCommitBatches:   mm.CommitBatches,

@@ -8,9 +8,11 @@ package store
 // rule the placer degrades gracefully: distinct nodes per stripe, then
 // distinct nodes per repair group, then any live node.
 
-// placer assigns stripe positions to nodes.
+// placer assigns stripe positions to nodes. The node count is not baked
+// in: every method takes the eligible-node vector, whose length is the
+// topology of record (elastic membership grows it at runtime).
 type placer struct {
-	nodes, racks int
+	racks int
 	// groupOf[pos] is the repair-group id of stripe position pos, or -1
 	// when the codec has no local structure (RS): each position is then
 	// its own group and only node/stripe-level spreading applies.
@@ -18,8 +20,8 @@ type placer struct {
 	nStored int
 }
 
-func newPlacer(codec Codec, nodes, racks int) *placer {
-	p := &placer{nodes: nodes, racks: racks, nStored: codec.NStored()}
+func newPlacer(codec Codec, racks int) *placer {
+	p := &placer{racks: racks, nStored: codec.NStored()}
 	p.groupOf = make([]int, p.nStored)
 	for i := range p.groupOf {
 		p.groupOf[i] = -1
@@ -36,8 +38,10 @@ func newPlacer(codec Codec, nodes, racks int) *placer {
 func (p *placer) rackOf(node int) int { return node % p.racks }
 
 // place assigns every stripe position to a live node. stripeSeq rotates
-// the scan start so load spreads across stripes. alive must have nodes
-// entries; at least one node must be live.
+// the scan start so load spreads across stripes. alive is the eligible
+// set — its length is the topology of record (membership may have grown
+// it past the construction-time node count); at least one entry must be
+// true.
 func (p *placer) place(stripeSeq int, alive []bool) []int {
 	assigned := make([]int, p.nStored)
 	usedNode := make(map[int]bool, p.nStored)
@@ -86,10 +90,16 @@ func markGroup(m map[int]map[int]bool, g, v int) {
 // each group at most one block), and finally accepting any live node.
 func (p *placer) pick(stripeSeq, pos int, alive []bool, usedNode map[int]bool, groupRacks, groupNodes map[int]map[int]bool) int {
 	g := p.groupOf[pos]
-	start := (stripeSeq*p.nStored + pos) % p.nodes
+	// len(alive), not the construction-time count: elastic membership
+	// grows the node set after the placer is built.
+	nn := len(alive)
+	if nn == 0 {
+		return -1
+	}
+	start := (stripeSeq*p.nStored + pos) % nn
 	for relax := 0; ; relax++ {
-		for off := 0; off < p.nodes; off++ {
-			n := (start + off) % p.nodes
+		for off := 0; off < nn; off++ {
+			n := (start + off) % nn
 			if !alive[n] {
 				continue
 			}

@@ -241,18 +241,21 @@ func (r *RepairManager) repairFetch(it repairItem, scratch *repairScratch) func(
 // manifest.
 func (s *Store) writeRepaired(ref stripeRef, si stripeInfo, stripe [][]byte, rebuilt []int, frameOf func(pos int) []byte) {
 	aliveNow := s.aliveSnapshot()
+	placeable := s.placeableSnapshot()
 	for _, pos := range rebuilt {
 		node := si.Nodes[pos]
 		if node < 0 || node >= len(aliveNow) || !aliveNow[node] {
-			// Re-place on a live node, keeping the rack rule against the
-			// rest of the stripe. Slots on dead nodes don't constrain.
+			// Re-place on a live placeable node (never a drainer — repair
+			// must not refill a node mid-decommission), keeping the rack
+			// rule against the rest of the stripe. Slots on dead nodes
+			// don't constrain.
 			cur := append([]int(nil), si.Nodes...)
 			for q, nd := range cur {
 				if nd < 0 || nd >= len(aliveNow) || !aliveNow[nd] {
 					cur[q] = -1
 				}
 			}
-			repl := s.placer.pickReplacement(si.Seq, pos, cur, aliveNow)
+			repl := s.placer.pickReplacement(si.Seq, pos, cur, placeable)
 			if repl < 0 {
 				continue // no live node; nothing to write to
 			}

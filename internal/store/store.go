@@ -50,6 +50,11 @@ type Config struct {
 	// ScrubRateBytes caps the scrubber's integrity-walk read rate in
 	// bytes per second, same discipline; 0 = unlimited.
 	ScrubRateBytes int64
+	// RebalanceRateBytes caps the rebalancer's migration read rate in
+	// bytes per second — planned topology change must never starve
+	// foreground traffic, same token-bucket discipline as repair and
+	// scrub; 0 = unlimited.
+	RebalanceRateBytes int64
 	// MetaDir roots the persistent metadata plane (WAL + checkpoint): an
 	// acked Put is then on the log before PutReader returns, and a
 	// restart recovers every manifest by checkpoint load + WAL replay.
@@ -166,9 +171,19 @@ type Store struct {
 	// plane is immutable, and mutation commits a replacement.
 	db *meta.DB
 
-	// mu guards the liveness vector (manifests no longer live under it).
-	mu    sync.RWMutex
-	alive []bool
+	// mu guards the liveness vector and the membership table (manifests
+	// no longer live under it). members and alive always have equal
+	// length: one slot per node id ever issued.
+	mu      sync.RWMutex
+	alive   []bool
+	members []memberRecord
+
+	// memberMu serializes membership mutations (AddNode, state
+	// transitions) so a backend registration and the table growth it
+	// pairs with are atomic — without holding mu across the backend call.
+	memberMu sync.Mutex
+	// epoch counts membership changes; persisted in every n/ record.
+	epoch atomic.Int64
 
 	// Version pinning: a streaming read pins the (name, generation) it
 	// snapshotted so an overwrite or delete racing the read cannot
@@ -181,10 +196,11 @@ type Store struct {
 	gen atomic.Int64 // Put generation, keeps block keys unique
 	seq atomic.Int64 // stripe placement rotation
 
-	// repairLim / scrubLim pace the background datapaths (nil =
-	// unlimited). Foreground reads never touch them.
+	// repairLim / scrubLim / rebalLim pace the background datapaths
+	// (nil = unlimited). Foreground reads never touch them.
 	repairLim *byteRate
 	scrubLim  *byteRate
+	rebalLim  *byteRate
 
 	// readLat is the block-read latency histogram feeding the hedge
 	// trigger's quantile.
@@ -201,7 +217,7 @@ func New(cfg Config) (*Store, error) {
 	}
 	s := &Store{
 		cfg:       cfg,
-		placer:    newPlacer(cfg.Codec, cfg.Nodes, cfg.Racks),
+		placer:    newPlacer(cfg.Codec, cfg.Racks),
 		alive:     make([]bool, cfg.Nodes),
 		pins:      make(map[verKey]int),
 		condemned: make(map[verKey]*objectInfo),
@@ -211,8 +227,15 @@ func New(cfg Config) (*Store, error) {
 	}
 	s.repairLim = newByteRate(cfg.RepairRateBytes)
 	s.scrubLim = newByteRate(cfg.ScrubRateBytes)
+	s.rebalLim = newByteRate(cfg.RebalanceRateBytes)
 	for i := range s.alive {
 		s.alive[i] = true
+	}
+	// Seed nodes start active at epoch 0; their records are persisted
+	// lazily, on the first membership change that touches them.
+	s.members = make([]memberRecord, cfg.Nodes)
+	for i := range s.members {
+		s.members[i] = memberRecord{Node: i, State: NodeActive}
 	}
 	// Recovery happens here: with a MetaDir, openMeta loads the
 	// checkpoint, replays the WAL and restores manifests, liveness and
@@ -229,8 +252,14 @@ func (s *Store) Codec() Codec { return s.cfg.Codec }
 // Backend returns the store's backend.
 func (s *Store) Backend() Backend { return s.cfg.Backend }
 
-// Nodes returns the node count.
-func (s *Store) Nodes() int { return s.cfg.Nodes }
+// Nodes returns the node count, including every id ever issued —
+// joining, draining and dead nodes keep their slots (ids are never
+// reused, so old manifests always resolve).
+func (s *Store) Nodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.alive)
+}
 
 // Racks returns the rack count.
 func (s *Store) Racks() int { return s.cfg.Racks }
@@ -643,7 +672,7 @@ func (s *Store) Stat(name string) (ObjectStat, error) {
 // BlocksPerNode counts manifest blocks per node — the placement balance
 // view.
 func (s *Store) BlocksPerNode() []int {
-	out := make([]int, s.cfg.Nodes)
+	out := make([]int, s.Nodes())
 	it := s.db.Scan(objPrefix)
 	for {
 		_, v, ok := it.Next()
@@ -762,14 +791,16 @@ func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
 // --- snapshot / restore (the CLI's on-disk state) ---
 
 type snapshot struct {
-	Codec     string        `json:"codec"`
-	Nodes     int           `json:"nodes"`
-	Racks     int           `json:"racks"`
-	BlockSize int           `json:"block_size"`
-	Gen       int64         `json:"gen"`
-	Seq       int64         `json:"seq"`
-	Dead      []int         `json:"dead,omitempty"`
-	Objects   []*objectInfo `json:"objects"`
+	Codec     string         `json:"codec"`
+	Nodes     int            `json:"nodes"`
+	Racks     int            `json:"racks"`
+	BlockSize int            `json:"block_size"`
+	Gen       int64          `json:"gen"`
+	Seq       int64          `json:"seq"`
+	Epoch     int64          `json:"epoch,omitempty"`
+	Dead      []int          `json:"dead,omitempty"`
+	Members   []memberRecord `json:"members,omitempty"`
+	Objects   []*objectInfo  `json:"objects"`
 }
 
 // Snapshot serializes the store's metadata (manifests, liveness,
@@ -779,16 +810,24 @@ type snapshot struct {
 func (s *Store) Snapshot() ([]byte, error) {
 	snap := snapshot{
 		Codec:     s.cfg.Codec.Name(),
-		Nodes:     s.cfg.Nodes,
 		Racks:     s.cfg.Racks,
 		BlockSize: s.cfg.BlockSize,
 		Gen:       s.gen.Load(),
 		Seq:       s.seq.Load(),
+		Epoch:     s.epoch.Load(),
 	}
 	s.mu.RLock()
+	snap.Nodes = len(s.alive)
 	for n, a := range s.alive {
 		if !a {
 			snap.Dead = append(snap.Dead, n)
+		}
+	}
+	// Only non-seed-state members need recording; a snapshot of a store
+	// that never changed membership stays byte-compatible with old ones.
+	for _, m := range s.members {
+		if m.State != NodeActive || m.Addr != "" || m.Epoch != 0 {
+			snap.Members = append(snap.Members, m)
 		}
 	}
 	s.mu.RUnlock()
@@ -825,13 +864,16 @@ func Restore(cfg Config, data []byte) (*Store, error) {
 		return nil, err
 	}
 	if s.db.Len(objPrefix) > 0 {
-		// Plane wins; only ratchet the watermark so snapshot-era keys are
-		// never reissued.
+		// Plane wins; only ratchet the watermarks so snapshot-era keys and
+		// epochs are never reissued.
 		if snap.Gen > s.gen.Load() {
 			s.gen.Store(snap.Gen)
 		}
 		if snap.Seq > s.seq.Load() {
 			s.seq.Store(snap.Seq)
+		}
+		if snap.Epoch > s.epoch.Load() {
+			s.epoch.Store(snap.Epoch)
 		}
 		return s, nil
 	}
@@ -841,7 +883,18 @@ func Restore(cfg Config, data []byte) (*Store, error) {
 	if snap.Seq > s.seq.Load() {
 		s.seq.Store(snap.Seq)
 	}
+	if snap.Epoch > s.epoch.Load() {
+		s.epoch.Store(snap.Epoch)
+	}
 	s.mu.Lock()
+	for _, m := range snap.Members {
+		if m.Node >= 0 && m.Node < len(s.members) {
+			s.members[m.Node] = m
+			if m.State == NodeDead {
+				s.alive[m.Node] = false
+			}
+		}
+	}
 	for _, n := range snap.Dead {
 		if n >= 0 && n < len(s.alive) {
 			s.alive[n] = false
@@ -851,6 +904,12 @@ func Restore(cfg Config, data []byte) (*Store, error) {
 	err = s.db.Commit(func(tx *meta.Tx) {
 		for _, o := range snap.Objects {
 			tx.Put(objKey(o.Name), o)
+		}
+		for _, m := range snap.Members {
+			if m.Node >= 0 && m.Node < snap.Nodes {
+				m := m
+				tx.Put(nodeKey(m.Node), &m)
+			}
 		}
 	})
 	if err != nil {

@@ -239,7 +239,10 @@ func (s *Store) putStripeFramed(obj *objectInfo, bufs [][]byte) error {
 func (s *Store) sealStripe(obj *objectInfo, bufs [][]byte, dataLen, blockLen int) error {
 	n := len(bufs)
 	seq := int(s.seq.Add(1))
-	nodes := s.placer.place(seq, s.aliveSnapshot())
+	// Place on the membership-aware set: alive AND active/joining. New
+	// stripes land on the post-change topology immediately; draining
+	// nodes only serve reads for what they already hold.
+	nodes := s.placer.place(seq, s.placeableSnapshot())
 	idx := len(obj.Stripes)
 	si := stripeInfo{
 		Seq:      seq,
