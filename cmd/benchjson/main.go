@@ -18,7 +18,10 @@
 // from a broken run. MB/s is checked because the repair and stream
 // benchmarks are throughput-denominated: a repair that rebuilds fewer
 // bytes per second is a regression even if its ns/op (dominated by the
-// fixed per-op setup) held steady.
+// fixed per-op setup) held steady. bytes-read/op is checked because the
+// cached-read benchmarks are traffic-denominated: the warm case's
+// baseline is exactly zero, and any backend byte appearing there means
+// the cache fast path broke, a regression no time-based metric catches.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -113,11 +117,37 @@ func compare(path string, cur Doc, threshold float64) (regressed bool, err error
 	}
 	for _, m := range []struct {
 		unit string
-		// worse computes the percent moved in the bad direction.
-		worse func(old, new float64) float64
+		// worse computes the percent moved in the bad direction;
+		// ok=false means the pair is not comparable (zero baseline
+		// where a ratio is meaningless).
+		worse func(old, new float64) (pct float64, ok bool)
 	}{
-		{"ns/op", func(old, new float64) float64 { return (new - old) / old * 100 }},
-		{"MB/s", func(old, new float64) float64 { return (old - new) / old * 100 }},
+		{"ns/op", func(old, new float64) (float64, bool) {
+			if old <= 0 {
+				return 0, false
+			}
+			return (new - old) / old * 100, true
+		}},
+		{"MB/s", func(old, new float64) (float64, bool) {
+			if old <= 0 {
+				return 0, false
+			}
+			return (old - new) / old * 100, true
+		}},
+		// bytes-read/op guards cached and ranged read paths: backend
+		// traffic growing is a regression, and growing from the flat
+		// zero of a cache hit (where no ratio exists) is the worst
+		// one — a warm read that touches the backend at all has lost
+		// its cache.
+		{"bytes-read/op", func(old, new float64) (float64, bool) {
+			if old == 0 {
+				if new > 0 {
+					return math.Inf(1), true
+				}
+				return 0, false
+			}
+			return (new - old) / old * 100, true
+		}},
 	} {
 		base := indexMetric(old, m.unit)
 		for _, b := range cur.Benchmarks {
@@ -134,7 +164,7 @@ func compare(path string, cur Doc, threshold float64) (regressed bool, err error
 			if !shared {
 				continue
 			}
-			if worse := m.worse(oldV, v); worse > threshold {
+			if worse, comparable := m.worse(oldV, v); comparable && worse > threshold {
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.1f %s -> %.1f %s (%.1f%% worse > %.0f%%)\n",
 					b.Name, oldV, m.unit, v, m.unit, worse, threshold)
 				regressed = true
@@ -155,13 +185,13 @@ func compare(path string, cur Doc, threshold float64) (regressed bool, err error
 func indexMetric(old Doc, unit string) map[string]float64 {
 	base := make(map[string]float64, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
-		if v, ok := b.Metrics[unit]; ok && v > 0 {
+		if v, ok := b.Metrics[unit]; ok && v >= 0 {
 			base[b.Name] = v
 		}
 	}
 	for _, b := range old.Benchmarks {
 		v, ok := b.Metrics[unit]
-		if !ok || v <= 0 {
+		if !ok || v < 0 {
 			continue
 		}
 		if s := stripProcSuffix(b.Name); s != b.Name {

@@ -8,7 +8,7 @@ package main
 // BlockFixer's light repairs on real bytes.
 //
 //	xorbasctl store put        -dir DIR -in FILE [-stream] [-name NAME] [-rs] [-nodes N] [-racks R] [-block BYTES]
-//	xorbasctl store get        -dir DIR -name NAME [-out FILE] [-stream]
+//	xorbasctl store get        -dir DIR -name NAME [-out FILE] [-stream] [-cache-bytes B]
 //
 // With -stream, put pipes the input through the store one stripe at a
 // time (memory stays bounded no matter the object size; `-in -` reads
@@ -34,7 +34,7 @@ package main
 //	xorbasctl store corrupt    -dir DIR -name NAME [-stripe I] [-block-idx J] [-silent]
 //	xorbasctl store scrub      -dir DIR [-workers W] [-scrub-rate B] [-repair-rate B]
 //	xorbasctl store repair-drain -dir DIR [-workers W] [-repair-rate B]
-//	xorbasctl store stats      -dir DIR
+//	xorbasctl store stats      -dir DIR [-cache-bytes B]
 //
 // scrub is the full integrity walk (every block read and CRC-checked,
 // syndromes scanned) followed by a drain of the repair queue;
@@ -87,6 +87,7 @@ func storeMain(args []string) error {
 	repairRate := fs.Int64("repair-rate", 0, "repair read budget in bytes/sec, 0 = unlimited (scrub / repair-drain)")
 	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget in bytes/sec, 0 = unlimited (scrub)")
 	stream := fs.Bool("stream", false, "stream stripe-by-stripe with bounded memory (put/get; '-' = stdin/stdout)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "hot-block read cache capacity in bytes for this invocation (get / stats; 0 = no cache)")
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -100,7 +101,7 @@ func storeMain(args []string) error {
 	case "put":
 		return storePut(sf, *in, *name, *racks, *blockSize, *stream)
 	case "get":
-		return storeGet(sf, *name, *out, *stream)
+		return storeGet(sf, *name, *out, *stream, *cacheBytes)
 	case "kill-node":
 		return storeSetNode(sf, *node, false)
 	case "revive-node":
@@ -112,7 +113,7 @@ func storeMain(args []string) error {
 	case "repair-drain":
 		return storeRepairDrain(sf, *workers, *repairRate)
 	case "stats":
-		return storeStats(sf)
+		return storeStats(sf, *cacheBytes)
 	default:
 		storeUsage()
 		return nil
@@ -180,11 +181,11 @@ func storePut(sf *cliutil.StoreFlags, in, name string, racks, blockSize int, str
 	return nil
 }
 
-func storeGet(sf *cliutil.StoreFlags, name, out string, stream bool) error {
+func storeGet(sf *cliutil.StoreFlags, name, out string, stream bool, cacheBytes int64) error {
 	if name == "" {
 		return fmt.Errorf("store get needs -name")
 	}
-	s, err := sf.Open()
+	s, err := sf.OpenRates(cliutil.Rates{CacheBytes: cacheBytes})
 	if err != nil {
 		return err
 	}
@@ -243,8 +244,23 @@ func storeGet(sf *cliutil.StoreFlags, name, out string, stream bool) error {
 	fmt.Fprintf(report, "get %s: %d bytes, %s; read %d blocks / %d bytes in %v (%s)\n",
 		name, size, mode, info.BlocksRead, info.BytesRead,
 		elapsed.Round(time.Millisecond), cliutil.Mbps(size, elapsed))
+	fmt.Fprint(report, cacheLine(cacheBytes, s.Metrics()))
 	fmt.Fprint(report, cliutil.WireLine(s.Metrics()))
 	return nil
+}
+
+// cacheLine formats the hot-block cache view — capacity, residency, hit
+// rate — empty when no cache was configured for this invocation.
+func cacheLine(capacity int64, m store.Metrics) string {
+	if capacity <= 0 {
+		return ""
+	}
+	rate := 0.0
+	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+		rate = float64(m.CacheHits) / float64(lookups)
+	}
+	return fmt.Sprintf("cache: %d/%d bytes resident, %d hits / %d misses (%.0f%% hit rate), %d evicted + %d invalidated\n",
+		m.CacheBytes, capacity, m.CacheHits, m.CacheMisses, 100*rate, m.CacheEvictions, m.CacheInvalidations)
 }
 
 func storeSetNode(sf *cliutil.StoreFlags, node int, up bool) error {
@@ -363,13 +379,14 @@ func storeRepairDrain(sf *cliutil.StoreFlags, workers int, repairRate int64) err
 	return cliutil.SaveStore(*sf.Dir, s)
 }
 
-func storeStats(sf *cliutil.StoreFlags) error {
-	s, err := sf.Open()
+func storeStats(sf *cliutil.StoreFlags, cacheBytes int64) error {
+	s, err := sf.OpenRates(cliutil.Rates{CacheBytes: cacheBytes})
 	if err != nil {
 		return err
 	}
 	defer s.Close()
 	fmt.Printf("store %s: codec %s, %d nodes / %d racks\n", *sf.Dir, s.Codec().Name(), s.Nodes(), s.Racks())
+	fmt.Print(cacheLine(cacheBytes, s.Metrics()))
 	if metaDir := sf.MetaDir(); metaDir != "" {
 		objects, replayed := s.MetaRecovered()
 		fmt.Printf("meta plane %s: %d manifests recovered, %d WAL records replayed at open\n",

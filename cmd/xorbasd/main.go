@@ -47,6 +47,7 @@ func run(argv []string) error {
 	repairRate := fs.Int64("repair-rate", 0, "repair read budget, bytes/sec (0 = unlimited)")
 	scrubRate := fs.Int64("scrub-rate", 0, "scrub read budget, bytes/sec (0 = unlimited)")
 	rebalRate := fs.Int64("rebalance-rate", 0, "rebalance migration read budget, bytes/sec; foreground gets are never paced (0 = unlimited)")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "hot-block read cache capacity in bytes: repeat reads of hot objects skip the backend; hit rate on /metrics (0 = no cache)")
 	scrubEvery := fs.Duration("scrub-interval", 0, "background integrity-walk period (0 = no background scrub)")
 	rebalEvery := fs.Duration("rebalance-interval", 0, "background rebalance pass period; moves blocks onto joiners and off drainers (0 = no background rebalance)")
 	healthEvery := fs.Duration("health-interval", 0, "node health probe period; probing backends get auto dead/alive + auto-repair (0 = off)")
@@ -68,20 +69,10 @@ func run(argv []string) error {
 		return fmt.Errorf("need -dir")
 	}
 
-	s, err := sf.OpenOrCreate(*racks, *blockSize)
+	rates := cliutil.Rates{Repair: *repairRate, Scrub: *scrubRate, Rebalance: *rebalRate, CacheBytes: *cacheBytes}
+	s, err := sf.OpenOrCreateRates(*racks, *blockSize, rates)
 	if err != nil {
 		return err
-	}
-	if *repairRate != 0 || *scrubRate != 0 || *rebalRate != 0 {
-		// Rate flags only matter on reopen; OpenOrCreate opens unpaced, so
-		// reopen with the budgets when any were asked for.
-		if err := s.Close(); err != nil {
-			return err
-		}
-		rates := cliutil.Rates{Repair: *repairRate, Scrub: *scrubRate, Rebalance: *rebalRate}
-		if s, err = sf.OpenRates(rates); err != nil {
-			return err
-		}
 	}
 
 	// The self-healing plane: repair workers drain whatever scrubs (or

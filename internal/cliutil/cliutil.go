@@ -76,13 +76,18 @@ func (f *StoreFlags) Open() (*store.Store, error) {
 	return f.OpenRates(Rates{})
 }
 
-// Rates bundles the background byte budgets (bytes/sec, 0 = unlimited)
-// for the three paced datapaths: repair reads, scrub reads, and
-// rebalance migration reads. Foreground gets are never paced.
+// Rates bundles the resource budgets an open threads into the store:
+// bytes/sec for the three paced background datapaths (repair reads,
+// scrub reads, rebalance migration reads; 0 = unlimited — foreground
+// gets are never paced), plus the hot-block read cache capacity.
 type Rates struct {
 	Repair    int64
 	Scrub     int64
 	Rebalance int64
+	// CacheBytes is a capacity, not a rate: resident bytes for the
+	// store's hot-block read cache (store.Config.CacheBytes). 0 = no
+	// cache.
+	CacheBytes int64
 }
 
 // OpenRates is Open with background rate budgets.
@@ -103,6 +108,13 @@ func (f *StoreFlags) OpenRates(r Rates) (*store.Store, error) {
 // written immediately, so the directory reopens even if the process is
 // later killed without a clean save.
 func (f *StoreFlags) OpenOrCreate(racks, blockSize int) (*store.Store, error) {
+	return f.OpenOrCreateRates(racks, blockSize, Rates{})
+}
+
+// OpenOrCreateRates is OpenOrCreate with resource budgets, applied on
+// both the open and the create path — a daemon gets its paced repair
+// and its read cache on first boot, not only after a restart.
+func (f *StoreFlags) OpenOrCreateRates(racks, blockSize int, r Rates) (*store.Store, error) {
 	if *f.Dir == "" {
 		return nil, fmt.Errorf("need -dir")
 	}
@@ -112,13 +124,13 @@ func (f *StoreFlags) OpenOrCreate(racks, blockSize int) (*store.Store, error) {
 	}
 	metaDir := f.MetaDir()
 	if _, err := os.Stat(StoreStatePath(*f.Dir)); err == nil {
-		return OpenStoreRates(*f.Dir, spec, metaDir, Rates{})
+		return OpenStoreRates(*f.Dir, spec, metaDir, r)
 	}
 	codec, err := f.Codec()
 	if err != nil {
 		return nil, err
 	}
-	return CreateStore(*f.Dir, spec, metaDir, codec, racks, blockSize)
+	return CreateStoreRates(*f.Dir, spec, metaDir, codec, racks, blockSize, r)
 }
 
 // BackendSpec is how the CLI reaches block bytes: subdirectories of the
@@ -280,6 +292,7 @@ func OpenStoreRates(dir string, spec BackendSpec, metaDir string, rates Rates) (
 		RepairRateBytes:    rates.Repair,
 		ScrubRateBytes:     rates.Scrub,
 		RebalanceRateBytes: rates.Rebalance,
+		CacheBytes:         rates.CacheBytes,
 	}, blob)
 	if err != nil {
 		return nil, err
@@ -292,6 +305,11 @@ func OpenStoreRates(dir string, spec BackendSpec, metaDir string, rates Rates) (
 // metadata plane, codec and geometry, recording the markers and an
 // initial snapshot so the directory reopens even after an unclean exit.
 func CreateStore(dir string, spec BackendSpec, metaDir string, codec store.Codec, racks, blockSize int) (*store.Store, error) {
+	return CreateStoreRates(dir, spec, metaDir, codec, racks, blockSize, Rates{})
+}
+
+// CreateStoreRates is CreateStore with resource budgets.
+func CreateStoreRates(dir string, spec BackendSpec, metaDir string, codec store.Codec, racks, blockSize int, rates Rates) (*store.Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -300,12 +318,16 @@ func CreateStore(dir string, spec BackendSpec, metaDir string, codec store.Codec
 		return nil, err
 	}
 	s, err := store.New(store.Config{
-		Codec:     codec,
-		Backend:   be,
-		Nodes:     spec.Count,
-		Racks:     racks,
-		BlockSize: blockSize,
-		MetaDir:   metaDir,
+		Codec:              codec,
+		Backend:            be,
+		Nodes:              spec.Count,
+		Racks:              racks,
+		BlockSize:          blockSize,
+		MetaDir:            metaDir,
+		RepairRateBytes:    rates.Repair,
+		ScrubRateBytes:     rates.Scrub,
+		RebalanceRateBytes: rates.Rebalance,
+		CacheBytes:         rates.CacheBytes,
 	})
 	if err != nil {
 		return nil, err

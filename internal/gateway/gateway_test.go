@@ -581,3 +581,102 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal("store metrics missing from snapshot")
 	}
 }
+
+// TestRangeSuffixZeroIs416: RFC 7233 says a suffix range of zero bytes
+// ("bytes=-0") is satisfiable by nothing — the right answer is 416 with
+// a bytes */size hint, never an empty 206. Regression for a bug where
+// the zero suffix fell through to the clamped-empty-window path.
+func TestRangeSuffixZeroIs416(t *testing.T) {
+	_, srv := newTestGateway(t, Config{})
+	obj := testBytes(21, 1000)
+	url := srv.URL + "/t/acme/suffix"
+	resp, body := do(t, "PUT", url, obj)
+	wantStatus(t, resp, body, 200)
+
+	resp, body = do(t, "GET", url, nil, "Range", "bytes=-0")
+	wantStatus(t, resp, body, 416)
+	if len(body) != 0 && resp.Header.Get("Content-Type") == "application/octet-stream" {
+		t.Fatalf("bytes=-0 served %d object bytes with a 416", len(body))
+	}
+	if got := resp.Header.Get("Content-Range"); got != fmt.Sprintf("bytes */%d", len(obj)) {
+		t.Fatalf("bytes=-0 Content-Range = %q, want \"bytes */%d\"", got, len(obj))
+	}
+
+	// Same story against a zero-length object: no suffix of it exists.
+	urlEmpty := srv.URL + "/t/acme/empty"
+	resp, body = do(t, "PUT", urlEmpty, []byte{})
+	wantStatus(t, resp, body, 200)
+	resp, body = do(t, "GET", urlEmpty, nil, "Range", "bytes=-0")
+	wantStatus(t, resp, body, 416)
+	resp, body = do(t, "GET", urlEmpty, nil, "Range", "bytes=-5")
+	wantStatus(t, resp, body, 416)
+}
+
+// TestRejectRetryAfterFloor: the 429 Retry-After hint is whole seconds
+// rounded up and floored at 1 — a sub-second (or zero) wait must never
+// produce "Retry-After: 0", which some clients treat as "retry now" and
+// turn into a tight loop against an already-saturated tenant budget.
+func TestRejectRetryAfterFloor(t *testing.T) {
+	g, _ := newTestGateway(t, Config{})
+	for _, c := range []struct {
+		wait time.Duration
+		want string
+	}{
+		{0, "1"},
+		{time.Nanosecond, "1"},
+		{time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{time.Second + time.Nanosecond, "2"},
+		{1500 * time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+	} {
+		rec := httptest.NewRecorder()
+		g.reject(rec, c.wait)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("reject(%v) = %d, want 429", c.wait, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != c.want {
+			t.Fatalf("reject(%v) Retry-After = %q, want %q", c.wait, got, c.want)
+		}
+	}
+}
+
+// TestMetricsCacheHitRate: with a caching store behind the gateway,
+// repeat GETs of the same object earn cache hits and /metrics surfaces
+// the hit rate alongside the raw store counters.
+func TestMetricsCacheHitRate(t *testing.T) {
+	s, err := store.New(store.Config{BlockSize: 256, CacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	_, srv := newTestGateway(t, Config{Store: s})
+
+	obj := testBytes(22, 3*2560+17)
+	url := srv.URL + "/t/acme/hot"
+	resp, body := do(t, "PUT", url, obj)
+	wantStatus(t, resp, body, 200)
+	resp, body = do(t, "GET", url, nil) // warm the cache
+	wantStatus(t, resp, body, 200)
+	for i := 0; i < 3; i++ {
+		resp, body = do(t, "GET", url, nil, "Range", "bytes=100-699")
+		wantStatus(t, resp, body, 206)
+		if !bytes.Equal(body, obj[100:700]) {
+			t.Fatal("ranged GET returned wrong bytes")
+		}
+	}
+
+	resp, body = do(t, "GET", srv.URL+"/metrics", nil)
+	wantStatus(t, resp, body, 200)
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Store.CacheHits == 0 {
+		t.Fatal("repeat GETs of a warm object earned no cache hits")
+	}
+	if snap.CacheHitRate <= 0 || snap.CacheHitRate > 1 {
+		t.Fatalf("cache_hit_rate = %v, want in (0, 1]", snap.CacheHitRate)
+	}
+}

@@ -103,7 +103,11 @@ type Snapshot struct {
 	BytesIn           int64                   `json:"bytes_in"`
 	BytesOut          int64                   `json:"bytes_out"`
 	AdmissionRejected int64                   `json:"admission_rejected"`
-	Store             store.Metrics           `json:"store"`
+	// CacheHitRate is hits/(hits+misses) of the store's hot-block read
+	// cache — 0 when the cache is disabled or untouched. The raw
+	// counters are under Store.
+	CacheHitRate float64       `json:"cache_hit_rate"`
+	Store        store.Metrics `json:"store"`
 }
 
 // Metrics returns a point-in-time snapshot of the gateway's counters.
@@ -117,11 +121,17 @@ func (g *Gateway) Metrics() Snapshot {
 		}
 		verbs[name] = VerbSnapshot{Requests: n, P50Ms: v.quantile(0.50), P99Ms: v.quantile(0.99)}
 	}
+	sm := g.st.Metrics()
+	hitRate := 0.0
+	if lookups := sm.CacheHits + sm.CacheMisses; lookups > 0 {
+		hitRate = float64(sm.CacheHits) / float64(lookups)
+	}
 	return Snapshot{
 		Verbs:             verbs,
 		BytesIn:           g.m.bytesIn.Load(),
 		BytesOut:          g.m.bytesOut.Load(),
 		AdmissionRejected: g.m.rejected.Load(),
-		Store:             g.st.Metrics(),
+		CacheHitRate:      hitRate,
+		Store:             sm,
 	}
 }

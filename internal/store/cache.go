@@ -1,0 +1,202 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The hot-block cache: a buffer-pool-style, byte-budgeted LRU over
+// fetched data-block payloads, so a hot object under heavy read traffic
+// costs one backend read instead of one per reader. The design follows
+// classic database buffer management — pin/unpin reference counts keep
+// an entry resident while a stripe decode is using it as a source, and
+// eviction walks the LRU tail skipping pinned frames.
+//
+// Keying: entries are keyed by the backend block key, which already
+// embeds (object name, put generation, stripe index, block position)
+// and is never reused — see blockKey. A new generation therefore never
+// collides with a cached old one, and staleness is purely a residency
+// question: retire/delete and repair/rebalance relocation call
+// invalidate so a dropped version or a rewritten block stops serving
+// hits immediately (pinned readers of the old version keep their
+// payload slices — memory is reclaimed by GC at the last unpin).
+//
+// The cache is sharded by key hash; each shard has its own lock, table,
+// intrusive LRU list and slice of the byte budget, so concurrent
+// streaming reads on different objects never serialize on one mutex.
+
+// cacheShards is the shard count (power of two, so the hash maps with a
+// mask). 16 shards keep lock hold times negligible at the read pool's
+// default concurrency.
+const cacheShards = 16
+
+// cacheEntry is one resident block payload. pins and the list links are
+// guarded by the owning shard's mutex; key and payload are immutable.
+type cacheEntry struct {
+	key     string
+	payload []byte
+	shard   *cacheShard
+	pins    int
+	// LRU list links; head side is most recently used.
+	prev, next *cacheEntry
+}
+
+// cacheShard is one lock's worth of the cache: a key table, an LRU list
+// threaded through the entries (root is the sentinel), and this shard's
+// slice of the byte budget.
+type cacheShard struct {
+	mu     sync.Mutex
+	table  map[string]*cacheEntry
+	root   cacheEntry
+	bytes  int64
+	budget int64
+}
+
+// blockCache is the store-wide cache. Counters are atomics so Metrics
+// never takes the shard locks.
+type blockCache struct {
+	shards        [cacheShards]cacheShard
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+	bytes         atomic.Int64 // resident payload bytes across all shards
+}
+
+func newBlockCache(budget int64) *blockCache {
+	c := &blockCache{}
+	per := budget / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.table = make(map[string]*cacheEntry)
+		sh.budget = per
+		sh.root.next = &sh.root
+		sh.root.prev = &sh.root
+	}
+	return c
+}
+
+// shardFor hashes a block key (FNV-1a) onto its shard.
+func (c *blockCache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = &sh.root
+	e.next = sh.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (sh *cacheShard) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// drop removes an entry from the table, the LRU list and the byte
+// accounting. A pinned reader keeps its payload slice — dropping only
+// ends the entry's cache residency, it never frees memory out from
+// under a decode.
+func (sh *cacheShard) drop(c *blockCache, e *cacheEntry) {
+	sh.unlink(e)
+	delete(sh.table, e.key)
+	sh.bytes -= int64(len(e.payload))
+	c.bytes.Add(-int64(len(e.payload)))
+}
+
+// get returns the cached payload for key with the entry pinned, or
+// (nil, nil) on a miss. The caller owes exactly one unpin per non-nil
+// handle, once the stripe decode that uses the payload has drained.
+func (c *blockCache) get(key string) ([]byte, *cacheEntry) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e := sh.table[key]
+	if e == nil {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, nil
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+	e.pins++
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return e.payload, e
+}
+
+// unpin releases one reader of a pinned entry.
+func (c *blockCache) unpin(e *cacheEntry) {
+	sh := e.shard
+	sh.mu.Lock()
+	e.pins--
+	sh.mu.Unlock()
+}
+
+// add inserts (or refreshes) a payload at MRU, then evicts LRU-first
+// back down to the shard budget, skipping pinned entries — if every
+// resident entry is pinned the shard runs over budget rather than yank
+// a frame out of an in-flight decode. Payloads larger than a whole
+// shard budget are not cached (admitting one would just flush the
+// shard for a single entry that can never stay).
+func (c *blockCache) add(key string, payload []byte) {
+	sh := c.shardFor(key)
+	if int64(len(payload)) > sh.budget {
+		return
+	}
+	sh.mu.Lock()
+	if old := sh.table[key]; old != nil {
+		sh.drop(c, old)
+	}
+	e := &cacheEntry{key: key, payload: payload, shard: sh}
+	sh.table[key] = e
+	sh.pushFront(e)
+	sh.bytes += int64(len(payload))
+	c.bytes.Add(int64(len(payload)))
+	for sh.bytes > sh.budget {
+		victim := sh.root.prev
+		for victim != &sh.root && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == &sh.root {
+			break
+		}
+		sh.drop(c, victim)
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// invalidate drops key if resident — the staleness hook. Version
+// retire/delete and the repair/rebalance relocation commit route here,
+// so a reclaimed generation or a rewritten block can never serve
+// another hit.
+func (c *blockCache) invalidate(key string) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e := sh.table[key]; e != nil {
+		sh.drop(c, e)
+		c.invalidations.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// invalidateObject drops every cached block of one object version —
+// the retire/delete path. Only data positions are ever inserted, but
+// sweeping all keys is cheap and keeps this correct if that policy
+// changes.
+func (c *blockCache) invalidateObject(obj *objectInfo) {
+	for i := range obj.Stripes {
+		for _, key := range obj.Stripes[i].Keys {
+			c.invalidate(key)
+		}
+	}
+}

@@ -65,6 +65,13 @@ func (s *Store) streamRangeVersion(name string, off, length int64, w io.Writer) 
 	if length < 0 || off+length > size {
 		length = size - off
 	}
+	if length == 0 {
+		// Empty window — an explicit zero length, or off == size. The
+		// segment mapping below would also come up empty, but an explicit
+		// gate keeps "no bytes wanted, no backend reads" an invariant
+		// rather than a side effect of the loop bounds.
+		return ReadInfo{}, gen, nil
+	}
 	end := off + length
 	// Map the byte range onto stripe segments: [lo, hi) within each
 	// overlapping stripe, and the block positions covering that window.
@@ -115,6 +122,7 @@ func (s *Store) streamRangeVersion(name string, off, length int64, w io.Writer) 
 		pending = nil
 		acct.add(&res.acct)
 		if res.err != nil {
+			res.release(s.cache)
 			s.m.mergeRead(acct)
 			return acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, segs[i].idx, res.err)
 		}
@@ -140,13 +148,18 @@ func (s *Store) streamRangeVersion(name string, off, length int64, w io.Writer) 
 			}
 			part = part[cutLo : blockHi-blockLo]
 			if _, err := w.Write(part); err != nil {
+				res.release(s.cache)
 				if pending != nil {
-					<-pending // join the prefetch; its reads are uncharged on this failure path
+					// Join the prefetch; its reads are uncharged on this
+					// failure path, but its cache pins still release.
+					p := <-pending
+					p.release(s.cache)
 				}
 				s.m.mergeRead(acct)
 				return acct.info(), gen, fmt.Errorf("store: write object %q: %w", name, err)
 			}
 		}
+		res.release(s.cache)
 	}
 	s.m.mergeRead(acct)
 	return acct.info(), gen, nil

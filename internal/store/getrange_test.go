@@ -239,3 +239,46 @@ func TestGetRangeMatchesGet(t *testing.T) {
 		}
 	}
 }
+
+// TestGetRangeEmptyWindowNoBackendReads: the edge windows — explicit
+// length 0 anywhere, and off == size (with or without a clamped
+// length) — succeed with zero bytes written and zero backend reads.
+// Regression: an empty window must never cost a covering-stripe fetch.
+func TestGetRangeEmptyWindowNoBackendReads(t *testing.T) {
+	cb := &countingBackend{Backend: NewMemBackend()}
+	s := newTestStore(t, Config{Backend: cb, BlockSize: 128})
+	defer s.Close()
+	k := s.Codec().K()
+	want := randBytes(rand.New(rand.NewSource(77)), 128*k+40)
+	if err := s.Put("obj", want); err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(want))
+	before := cb.reads.Load()
+	for _, c := range []struct{ off, length int64 }{
+		{0, 0},          // empty at start
+		{17, 0},         // empty mid-object
+		{size, 0},       // empty at end
+		{size, -1},      // off == size, "to the end" clamps to nothing
+		{size, 1 << 30}, // off == size, oversized length clamps to nothing
+	} {
+		var buf bytes.Buffer
+		info, err := s.GetRange("obj", c.off, c.length, &buf)
+		if err != nil {
+			t.Fatalf("GetRange(%d, %d): %v", c.off, c.length, err)
+		}
+		if buf.Len() != 0 || info.BytesWritten != 0 {
+			t.Fatalf("GetRange(%d, %d) wrote %d bytes, want 0", c.off, c.length, buf.Len())
+		}
+		if info.BlocksRead != 0 || info.BytesRead != 0 {
+			t.Fatalf("GetRange(%d, %d) cost %d blocks / %d bytes, want free", c.off, c.length, info.BlocksRead, info.BytesRead)
+		}
+	}
+	if got := cb.reads.Load(); got != before {
+		t.Fatalf("empty windows hit the backend: %d -> %d reads", before, got)
+	}
+	// One past the end stays an error, not an empty success.
+	if _, err := s.GetRange("obj", size+1, 0, &bytes.Buffer{}); !errors.Is(err, ErrBadRange) {
+		t.Fatalf("GetRange(size+1, 0) = %v, want ErrBadRange", err)
+	}
+}

@@ -80,28 +80,19 @@ type hedgeRead struct {
 	err     error
 }
 
-// fetchStripeHedged is fetchStripe's hedging variant: every wanted
+// fetchPositionsHedged is fetchPositions' hedging variant: every wanted
 // position fetches concurrently; results arriving within the hedge
 // delay land in scratch as usual, and if stragglers remain past the
 // deadline the reconstruction race fires. The racing reconstruction
 // works on its own stripe slice and avail copy (payloads already in
-// hand are shared read-only), so the straggler goroutines and the
-// decode never touch the same memory. A losing path keeps running in
-// the background until its reads resolve; its accounting merges into
-// the store counters so no byte goes uncounted.
-func (s *Store) fetchStripeHedged(si *stripeInfo, scratch [][]byte, pLo, pHi int, delay time.Duration) fetchResult {
+// hand — cache hits included — are shared read-only), so the straggler
+// goroutines and the decode never touch the same memory. A losing path
+// keeps running in the background until its reads resolve; its
+// accounting merges into the store counters so no byte goes uncounted.
+func (s *Store) fetchPositionsHedged(si *stripeInfo, scratch [][]byte, want []int, avail []bool, res *fetchResult, delay time.Duration) {
 	n := s.cfg.Codec.NStored()
-	for i := range scratch {
-		scratch[i] = nil
-	}
-	res := fetchResult{stripe: scratch}
-	avail := make([]bool, n)
-	for pos := 0; pos < n; pos++ {
-		avail[pos] = s.Alive(si.Nodes[pos])
-	}
-	want := pHi - pLo + 1
-	results := make(chan hedgeRead, want) // buffered: stragglers never block after abandonment
-	for pos := pLo; pos <= pHi; pos++ {
+	results := make(chan hedgeRead, len(want)) // buffered: stragglers never block after abandonment
+	for _, pos := range want {
 		go func(pos int) {
 			var r hedgeRead
 			r.pos = pos
@@ -111,7 +102,7 @@ func (s *Store) fetchStripeHedged(si *stripeInfo, scratch [][]byte, pLo, pHi int
 	}
 
 	var missing []int
-	outstanding := want
+	outstanding := len(want)
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
 	fired := false
@@ -140,13 +131,13 @@ collect:
 				res.err = err
 			}
 		}
-		return res
+		return
 	}
 
 	// Stragglers outstanding past the deadline: fire the hedge.
 	s.m.hedgeFires.Add(1)
 	straggling := make(map[int]bool, outstanding)
-	for pos := pLo; pos <= pHi; pos++ {
+	for _, pos := range want {
 		if scratch[pos] == nil && !contains(missing, pos) {
 			straggling[pos] = true
 		}
@@ -210,7 +201,7 @@ collect:
 					res.err = err
 				}
 			}
-			return res
+			return
 		case r := <-reconCh:
 			if r.err != nil {
 				// The decode lost its own sources; the stragglers are now
@@ -234,7 +225,7 @@ collect:
 						res.err = err
 					}
 				}
-				return res
+				return
 			}
 			// Reconstruction beat the stragglers: take its payloads for
 			// every position still outstanding or failed, and abandon the
@@ -257,7 +248,7 @@ collect:
 					s.m.mergeRead(&a)
 				}(outstanding)
 			}
-			return res
+			return
 		}
 	}
 }

@@ -146,6 +146,15 @@ type Metrics struct {
 	// of RS's bytes).
 	RebalancedBlocks, RebalancedBytes       int64
 	RebalanceBlocksRead, RebalanceBytesRead int64
+	// Hot-block cache (Config.CacheBytes; all zero when disabled): hits
+	// and misses on the foreground read path, entries evicted by the
+	// byte budget, entries dropped by staleness invalidation (version
+	// retire/delete and repair/rebalance relocation), and the resident
+	// payload bytes right now. A hot object's steady state is all hits —
+	// ReadBlocks/ReadBytes stop growing while CacheHits climbs.
+	CacheHits, CacheMisses             int64
+	CacheEvictions, CacheInvalidations int64
+	CacheBytes                         int64
 	// Wire totals, present when the backend implements WireStats (the
 	// TCP netblock client): cumulative protocol bytes sent to and
 	// received from all nodes. These count what actually crossed the
@@ -188,7 +197,7 @@ func (s *Store) Metrics() Metrics {
 			breakerOpens += info.Opens
 		}
 	}
-	return Metrics{
+	m := Metrics{
 		PutBlocks:           s.m.putBlocks.Load(),
 		PutBytes:            s.m.putBytes.Load(),
 		ReadBlocks:          s.m.readBlocks.Load(),
@@ -224,4 +233,12 @@ func (s *Store) Metrics() Metrics {
 		MetaReplayedRecords: mm.ReplayedRecords,
 		MetaIteratorScans:   mm.IteratorScans,
 	}
+	if c := s.cache; c != nil {
+		m.CacheHits = c.hits.Load()
+		m.CacheMisses = c.misses.Load()
+		m.CacheEvictions = c.evictions.Load()
+		m.CacheInvalidations = c.invalidations.Load()
+		m.CacheBytes = c.bytes.Load()
+	}
+	return m
 }

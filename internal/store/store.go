@@ -55,6 +55,15 @@ type Config struct {
 	// foreground traffic, same token-bucket discipline as repair and
 	// scrub; 0 = unlimited.
 	RebalanceRateBytes int64
+	// CacheBytes bounds the in-memory hot-block cache on the foreground
+	// read path: fetched (and reconstructed) data-block payloads stay
+	// resident in a sharded, pin/unpin LRU keyed by backend block key —
+	// which embeds (name, gen, stripe, pos), so generations can never
+	// collide — and a repeat read of a hot object costs zero backend
+	// reads. Scrub, repair and rebalance reads never populate it.
+	// 0 disables caching (the default; background tools and tests then
+	// see every read hit the backend).
+	CacheBytes int64
 	// MetaDir roots the persistent metadata plane (WAL + checkpoint): an
 	// acked Put is then on the log before PutReader returns, and a
 	// restart recovers every manifest by checkpoint load + WAL replay.
@@ -206,6 +215,12 @@ type Store struct {
 	// trigger's quantile.
 	readLat blockLatHist
 
+	// cache is the hot-block read cache, nil unless Config.CacheBytes
+	// is set. Invalidation rides the same paths that make blocks stale:
+	// deleteBlocks (retire/delete) and relocateBlock (repair/rebalance
+	// write-backs).
+	cache *blockCache
+
 	m counters
 }
 
@@ -228,6 +243,9 @@ func New(cfg Config) (*Store, error) {
 	s.repairLim = newByteRate(cfg.RepairRateBytes)
 	s.scrubLim = newByteRate(cfg.ScrubRateBytes)
 	s.rebalLim = newByteRate(cfg.RebalanceRateBytes)
+	if cfg.CacheBytes > 0 {
+		s.cache = newBlockCache(cfg.CacheBytes)
+	}
 	for i := range s.alive {
 		s.alive[i] = true
 	}
@@ -617,8 +635,15 @@ func (s *Store) Delete(name string) error {
 }
 
 // deleteBlocks best-effort removes an object's blocks, dead nodes
-// included (backends outlive simulated node failures).
+// included (backends outlive simulated node failures). The cache drops
+// the version's entries first: this runs at retire time for an
+// unpinned version and at the last unpin otherwise, so a pinned
+// streaming read keeps hitting its own generation until it finishes
+// and a reclaimed generation can never serve another hit.
 func (s *Store) deleteBlocks(obj *objectInfo) {
+	if s.cache != nil {
+		s.cache.invalidateObject(obj)
+	}
 	for i := range obj.Stripes {
 		si := &obj.Stripes[i]
 		for pos, node := range si.Nodes {
@@ -770,6 +795,7 @@ func (o *objectInfo) withRelocation(idx, pos, node int, key string) *objectInfo 
 // manifest would serve stale bytes).
 func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
 	relocated := false
+	oldKey := ""
 	err := s.db.Commit(func(tx *meta.Tx) {
 		v, ok := tx.Get(objKey(ref.name))
 		if !ok {
@@ -782,9 +808,20 @@ func (s *Store) relocateBlock(ref stripeRef, pos, node int, key string) bool {
 		if pos < 0 || pos >= len(obj.Stripes[ref.idx].Nodes) {
 			return
 		}
+		oldKey = obj.Stripes[ref.idx].Keys[pos]
 		tx.Put(objKey(ref.name), obj.withRelocation(ref.idx, pos, node, key))
 		relocated = true
 	})
+	if err == nil && relocated && s.cache != nil {
+		// Repair and rebalance write-backs commit here; a cached copy of
+		// the pre-repair payload (or of a corrupt block rebuilt in place)
+		// must not serve past this point. Repairs keep the block key, so
+		// old and new are usually the same string — drop both regardless.
+		s.cache.invalidate(oldKey)
+		if key != oldKey {
+			s.cache.invalidate(key)
+		}
+	}
 	return err == nil && relocated
 }
 

@@ -435,11 +435,26 @@ func (s *Store) Get(name string) ([]byte, ReadInfo, error) {
 
 // fetchResult is one stripe fetched (and if necessary reconstructed) by
 // the get pipeline, with its own accounting so concurrent fetches never
-// share counters; accts merge in stripe order.
+// share counters; accts merge in stripe order. pinned holds the cache
+// entries whose payloads sit in stripe — the caller releases them once
+// the stripe has drained, whichever way the read ends.
 type fetchResult struct {
 	stripe [][]byte
 	acct   readAcct
+	pinned []*cacheEntry
 	err    error
+}
+
+// release unpins the cache entries this fetch pinned. Safe to call more
+// than once and on a result with no pins.
+func (r *fetchResult) release(c *blockCache) {
+	if len(r.pinned) == 0 {
+		return
+	}
+	for _, e := range r.pinned {
+		c.unpin(e)
+	}
+	r.pinned = nil
 }
 
 // fetchStripe reads a stripe's data blocks at positions [pLo, pHi] —
@@ -449,24 +464,68 @@ type fetchResult struct {
 // so bytes hit the backend only for blocks the range actually needs.
 // scratch entries are cleared first, so a recycled slice never leaks a
 // previous stripe's payloads.
+//
+// The hot-block cache is probed first: hits fill scratch straight from
+// memory, pinned until the caller releases the result so eviction can
+// never recycle a payload under the decode, and only the misses go to
+// the backend — a fully cached stripe returns without touching the
+// backend or arming the hedge machinery at all.
 func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetchResult {
-	if d := s.hedgeDelay(); d > 0 {
-		return s.fetchStripeHedged(si, scratch, pLo, pHi, d)
-	}
-	n := s.cfg.Codec.NStored()
 	for i := range scratch {
 		scratch[i] = nil
 	}
 	res := fetchResult{stripe: scratch}
+	want := make([]int, 0, pHi-pLo+1)
+	if c := s.cache; c != nil {
+		for pos := pLo; pos <= pHi; pos++ {
+			if payload, e := c.get(si.Keys[pos]); e != nil {
+				scratch[pos] = payload
+				res.pinned = append(res.pinned, e)
+			} else {
+				want = append(want, pos)
+			}
+		}
+	} else {
+		for pos := pLo; pos <= pHi; pos++ {
+			want = append(want, pos)
+		}
+	}
+	if len(want) == 0 {
+		return res
+	}
+	n := s.cfg.Codec.NStored()
 	avail := make([]bool, n)
 	for pos := 0; pos < n; pos++ {
 		avail[pos] = s.Alive(si.Nodes[pos])
 	}
+	if d := s.hedgeDelay(); d > 0 {
+		s.fetchPositionsHedged(si, scratch, want, avail, &res, d)
+	} else {
+		s.fetchPositions(si, scratch, want, avail, &res)
+	}
+	if c := s.cache; c != nil && res.err == nil {
+		// Cache what the backend (or the decode) just produced — but only
+		// the wanted positions: reconstruction sources outside the window
+		// were incidental, and admitting them would let one degraded
+		// stripe evict a window's worth of genuinely hot blocks.
+		for _, pos := range want {
+			if scratch[pos] != nil {
+				c.add(si.Keys[pos], scratch[pos])
+			}
+		}
+	}
+	return res
+}
+
+// fetchPositions reads the wanted stripe positions — concurrently when
+// the read pool allows — into scratch, reconstructing whatever is
+// missing or corrupt. avail marks positions believed readable and is
+// downgraded as fetches fail; accounting and errors land in res.
+func (s *Store) fetchPositions(si *stripeInfo, scratch [][]byte, want []int, avail []bool, res *fetchResult) {
 	var missing []int
-	want := pHi - pLo + 1
-	workers := s.readWorkers(want)
+	workers := s.readWorkers(len(want))
 	if workers <= 1 {
-		for pos := pLo; pos <= pHi; pos++ {
+		for _, pos := range want {
 			p, err := s.readBlockPayload(si, pos, &res.acct, nil)
 			if err != nil {
 				avail[pos] = false
@@ -476,7 +535,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetc
 			scratch[pos] = p
 		}
 	} else {
-		errs := make([]error, n)
+		errs := make([]error, len(scratch))
 		accts := make([]readAcct, workers)
 		jobs := make(chan int)
 		var wg sync.WaitGroup
@@ -489,7 +548,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetc
 				}
 			}(w)
 		}
-		for pos := pLo; pos <= pHi; pos++ {
+		for _, pos := range want {
 			jobs <- pos
 		}
 		close(jobs)
@@ -497,7 +556,7 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetc
 		for w := range accts {
 			res.acct.add(&accts[w])
 		}
-		for pos := pLo; pos <= pHi; pos++ {
+		for _, pos := range want {
 			if errs[pos] != nil {
 				scratch[pos] = nil
 				avail[pos] = false
@@ -511,7 +570,6 @@ func (s *Store) fetchStripe(si *stripeInfo, scratch [][]byte, pLo, pHi int) fetc
 			res.err = err
 		}
 	}
-	return res
 }
 
 // streamVersion performs one streaming read attempt against the object
@@ -548,6 +606,7 @@ func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error)
 		pending = nil
 		acct.add(&res.acct)
 		if res.err != nil {
+			res.release(s.cache)
 			s.m.mergeRead(acct)
 			return acct.info(), gen, fmt.Errorf("store: degraded read of %q stripe %d: %w", name, i, res.err)
 		}
@@ -562,14 +621,19 @@ func (s *Store) streamVersion(name string, w io.Writer) (ReadInfo, int64, error)
 				part = part[:remaining]
 			}
 			if _, err := w.Write(part); err != nil {
+				res.release(s.cache)
 				if pending != nil {
-					<-pending // join the prefetch; its reads are uncharged on this failure path
+					// Join the prefetch; its reads are uncharged on this
+					// failure path, but its cache pins still release.
+					p := <-pending
+					p.release(s.cache)
 				}
 				s.m.mergeRead(acct)
 				return acct.info(), gen, fmt.Errorf("store: write object %q: %w", name, err)
 			}
 			remaining -= len(part)
 		}
+		res.release(s.cache)
 	}
 	s.m.mergeRead(acct)
 	return acct.info(), gen, nil
